@@ -1,0 +1,114 @@
+#include "figure_common.h"
+
+#include <iostream>
+
+namespace qfab::bench {
+
+std::vector<double> default_rates_1q() {
+  return {0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0};
+}
+
+std::vector<double> default_rates_2q() {
+  return {0.1, 0.2, 0.4, 0.7, 1.0, 1.5, 2.0};
+}
+
+std::vector<long> default_depths_qfa() { return {1, 2, 3, 4, kFullDepth}; }
+
+std::vector<long> default_depths_qfm() { return {1, 2, 3, kFullDepth}; }
+
+bool parse_scale(const CliFlags& flags, FigureScale& scale,
+                 int paper_instances) {
+  if (flags.get_bool("paper-scale", false)) {
+    scale.instances = paper_instances;
+    scale.trajectories = 64;
+  }
+  scale.instances =
+      static_cast<int>(flags.get_int("instances", scale.instances));
+  scale.shots = static_cast<std::uint64_t>(
+      flags.get_int("shots", static_cast<long>(scale.shots)));
+  scale.trajectories =
+      static_cast<int>(flags.get_int("traj", scale.trajectories));
+  scale.per_shot = flags.get_bool("per-shot", scale.per_shot);
+  scale.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<long>(scale.seed)));
+  scale.depths = flags.get_int_list("depths", scale.depths);
+  scale.rates_1q_percent =
+      flags.get_double_list("rates1q", scale.rates_1q_percent);
+  scale.rates_2q_percent =
+      flags.get_double_list("rates2q", scale.rates_2q_percent);
+  scale.csv_prefix = flags.get_string("csv", scale.csv_prefix);
+  scale.noisy_rz = !flags.get_bool("rz-noiseless", !scale.noisy_rz);
+  scale.measure_all = flags.get_bool("measure-all", scale.measure_all);
+  scale.progress = !flags.get_bool("quiet", !scale.progress);
+  return flags.validate();
+}
+
+namespace {
+
+std::vector<int> to_depths(const std::vector<long>& in) {
+  std::vector<int> out;
+  out.reserve(in.size());
+  for (long d : in) out.push_back(static_cast<int>(d));
+  return out;
+}
+
+void maybe_write_csv(const SweepResult& result, const std::string& prefix,
+                     const std::string& row_name, const char* axis) {
+  if (prefix.empty()) return;
+  TextTable table({"depth", "rate_percent", "success_rate", "sigma",
+                   "lower_flips", "upper_flips", "instances"});
+  for (const SweepPoint& p : result.points)
+    table.add_row({depth_label(p.depth), fmt_double(p.rate_percent, 3),
+                   fmt_double(p.stats.success_rate, 6),
+                   fmt_double(p.stats.sigma, 3),
+                   std::to_string(p.stats.lower_flips),
+                   std::to_string(p.stats.upper_flips),
+                   std::to_string(p.stats.instances)});
+  const std::string path = prefix + "_" + row_name + "_" + axis + ".csv";
+  table.write_csv(path);
+  std::cout << "  wrote " << path << '\n';
+}
+
+}  // namespace
+
+void run_figure_row(const FigureScale& scale, const CircuitSpec& base,
+                    const OperandOrders& orders, const std::string& row_name,
+                    const std::string& reference_note) {
+  SweepConfig cfg;
+  cfg.base = base;
+  cfg.base.measure_all = scale.measure_all;
+  cfg.depths = to_depths(scale.depths);
+  cfg.orders = orders;
+  cfg.instances = scale.instances;
+  cfg.run.shots = scale.shots;
+  cfg.run.error_trajectories = scale.trajectories;
+  cfg.run.per_shot = scale.per_shot;
+  cfg.run.noisy_rz = scale.noisy_rz;
+  cfg.seed = scale.seed;
+  cfg.progress = scale.progress;
+
+  // One operand set per row, shared by both error-rate columns (paper
+  // Sec. IV). The row seed folds in the operand orders.
+  Pcg64 row_rng(scale.seed ^ (static_cast<std::uint64_t>(orders.order_x) << 8)
+                           ^ static_cast<std::uint64_t>(orders.order_y));
+  const auto instances = generate_instances(
+      scale.instances, base.n, base.n, orders, row_rng);
+
+  cfg.vary_2q = false;
+  cfg.rates_percent = scale.rates_1q_percent;
+  const SweepResult left = run_sweep(cfg, instances);
+  print_sweep(std::cout, left,
+              "panel " + row_name + " | varying 1q gate error (" +
+                  reference_note + ")");
+  maybe_write_csv(left, scale.csv_prefix, row_name, "1q");
+
+  cfg.vary_2q = true;
+  cfg.rates_percent = scale.rates_2q_percent;
+  const SweepResult right = run_sweep(cfg, instances);
+  print_sweep(std::cout, right,
+              "panel " + row_name + " | varying 2q gate error (" +
+                  reference_note + ")");
+  maybe_write_csv(right, scale.csv_prefix, row_name, "2q");
+}
+
+}  // namespace qfab::bench

@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark): state-vector gate kernels, QFT
+// scaling, transpilation, and trajectory machinery — the cost model behind
+// the figure benches' default scale.
+#include <benchmark/benchmark.h>
+
+#include "exp/experiment.h"
+#include "noise/estimator.h"
+#include "qfb/adder.h"
+#include "qfb/qft.h"
+#include "transpile/transpile.h"
+
+namespace {
+
+using namespace qfab;
+
+void BM_Gate1q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv(n);
+  const Gate g = make_gate1(GateKind::kSX, n / 2);
+  for (auto _ : state) {
+    sv.apply_gate(g);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pow2(n)));
+}
+BENCHMARK(BM_Gate1q)->Arg(10)->Arg(16)->Arg(20);
+
+void BM_GateRz(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv(n);
+  const Gate g = make_gate1(GateKind::kRZ, n / 2, 0.3);
+  for (auto _ : state) {
+    sv.apply_gate(g);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pow2(n)));
+}
+BENCHMARK(BM_GateRz)->Arg(16)->Arg(20);
+
+void BM_GateCx(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  StateVector sv(n);
+  const Gate g = make_gate2(GateKind::kCX, 1, n - 2);
+  for (auto _ : state) {
+    sv.apply_gate(g);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(pow2(n)));
+}
+BENCHMARK(BM_GateCx)->Arg(16)->Arg(20);
+
+void BM_QftCircuit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const QuantumCircuit qc = transpile_to_basis(make_qft(n));
+  StateVector sv(n);
+  for (auto _ : state) {
+    sv.apply_circuit(qc);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetLabel(std::to_string(qc.gates().size()) + " basis gates");
+}
+BENCHMARK(BM_QftCircuit)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_TranspileQfa(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const QuantumCircuit qc = make_qfa(n, n, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transpile_to_basis(qc).gates().size());
+  }
+}
+BENCHMARK(BM_TranspileQfa)->Arg(4)->Arg(8);
+
+void BM_QfaCleanRun(benchmark::State& state) {
+  CircuitSpec spec;
+  spec.op = Operation::kAdd;
+  spec.n = static_cast<int>(state.range(0));
+  const QuantumCircuit qc = build_transpiled_circuit(spec);
+  const ArithInstance inst{QInt::classical(spec.n, 3),
+                           QInt::classical(spec.n, 5)};
+  for (auto _ : state) {
+    const CleanRun clean(qc, make_initial_state(spec, inst), 64);
+    benchmark::DoNotOptimize(clean.final_state().amplitudes().data());
+  }
+  state.SetLabel(std::to_string(qc.gates().size()) + " gates");
+}
+BENCHMARK(BM_QfaCleanRun)->Arg(4)->Arg(8);
+
+void BM_QfmCleanRun(benchmark::State& state) {
+  CircuitSpec spec;
+  spec.op = Operation::kMultiply;
+  spec.n = static_cast<int>(state.range(0));
+  const QuantumCircuit qc = build_transpiled_circuit(spec);
+  const ArithInstance inst{QInt::classical(spec.n, 3),
+                           QInt::classical(spec.n, 5)};
+  for (auto _ : state) {
+    const CleanRun clean(qc, make_initial_state(spec, inst), 64);
+    benchmark::DoNotOptimize(clean.final_state().amplitudes().data());
+  }
+  state.SetLabel(std::to_string(qc.gates().size()) + " gates");
+}
+BENCHMARK(BM_QfmCleanRun)->Arg(3)->Arg(4);
+
+void BM_ErrorTrajectory(benchmark::State& state) {
+  CircuitSpec spec;
+  spec.op = Operation::kAdd;
+  spec.n = 8;
+  const QuantumCircuit qc = build_transpiled_circuit(spec);
+  const ArithInstance inst{QInt::classical(8, 100), QInt::classical(8, 55)};
+  const CleanRun clean(qc, make_initial_state(spec, inst), 64);
+  NoiseModel nm;
+  nm.p2q = 0.01;
+  const ErrorLocations locs(qc, nm);
+  Pcg64 rng(1);
+  for (auto _ : state) {
+    const auto events = locs.sample_at_least_one(rng);
+    benchmark::DoNotOptimize(
+        run_trajectory(clean, events).amplitudes().data());
+  }
+}
+BENCHMARK(BM_ErrorTrajectory);
+
+void BM_MarginalProbabilities(benchmark::State& state) {
+  StateVector sv(16);
+  sv.apply_gate(make_gate1(GateKind::kH, 0));
+  std::vector<int> qubits;
+  for (int i = 8; i < 16; ++i) qubits.push_back(i);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sv.marginal_probabilities(qubits).data());
+}
+BENCHMARK(BM_MarginalProbabilities);
+
+}  // namespace

@@ -1,0 +1,46 @@
+// Noisy arithmetic in one page: run 5-bit quantum addition under a 2q-gate
+// depolarizing noise model and watch the paper's headline effect — the
+// approximate QFT beating the full QFT once the machine is noisy.
+#include <iostream>
+
+#include "common/table.h"
+#include "exp/sweep.h"
+
+int main() {
+  using namespace qfab;
+
+  SweepConfig cfg;
+  cfg.base.op = Operation::kAdd;
+  cfg.base.n = 5;
+  cfg.depths = {1, 2, 3, kFullDepth};
+  cfg.rates_percent = {0.5, 1.0, 2.0};  // 2q error rates, percent
+  cfg.vary_2q = true;
+  cfg.orders = {2, 2};  // both addends order-2 superpositions
+  cfg.instances = 10;
+  cfg.run.shots = 1024;
+  cfg.run.error_trajectories = 12;
+  cfg.seed = 123;
+
+  std::cout << "5-bit QFA, both addends order-2 superposed, 2q-gate "
+               "depolarizing noise\n\n";
+
+  Pcg64 gen(cfg.seed);
+  const auto instances =
+      generate_instances(cfg.instances, cfg.base.n, cfg.base.n, cfg.orders,
+                         gen);
+  const SweepResult result = run_sweep(cfg, instances);
+  print_sweep(std::cout, result, "success rate by AQFT depth");
+
+  std::cout << "Gate budgets per depth:\n";
+  for (int d : cfg.depths) {
+    CircuitSpec spec = cfg.base;
+    spec.depth = d;
+    const auto counts = build_transpiled_circuit(spec).counts();
+    std::cout << "  d=" << depth_label(d) << ": " << counts.two_qubit
+              << " CX, " << counts.one_qubit << " 1q\n";
+  }
+  std::cout << "\nAt low noise the full QFT wins; as the 2q error rate\n"
+            << "climbs, shallower approximation depths overtake it — fewer\n"
+            << "gates mean fewer error opportunities (paper Sec. IV).\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: add two integers with Quantum Fourier Addition.
+//
+//   1. build the QFA circuit (QFT -> phase add -> inverse QFT),
+//   2. transpile it to the IBM basis {Id, X, RZ, SX, CX},
+//   3. simulate and sample measurement shots,
+//   4. compare the full QFT against an approximate (AQFT) run.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "arith/qint.h"
+#include "qfb/adder.h"
+#include "sim/statevector.h"
+#include "transpile/transpile.h"
+
+int main() {
+  using namespace qfab;
+  const int n = 6;  // 6-bit operands, modular arithmetic (mod 64)
+  const std::int64_t a = 23, b = 42;
+
+  // --- 1. build -----------------------------------------------------------
+  const QuantumCircuit qfa = make_qfa(n, n, {});
+  std::cout << "QFA circuit on " << qfa.num_qubits() << " qubits: "
+            << qfa.gates().size() << " abstract gates, depth "
+            << qfa.depth() << "\n";
+
+  // --- 2. transpile -------------------------------------------------------
+  const TranspileReport report = transpile(qfa);
+  std::cout << "transpiled to basis {id,x,sx,rz,cx}: "
+            << report.counts.one_qubit << " 1q + " << report.counts.two_qubit
+            << " 2q gates\n\n";
+
+  // --- 3. simulate --------------------------------------------------------
+  StateVector sv = prepare_product_state(
+      2 * n, {{QubitRange{0, n}, QInt::classical(n, a)},
+              {QubitRange{n, n}, QInt::classical(n, b)}});
+  sv.apply_circuit(report.circuit);
+
+  Pcg64 rng(1);
+  std::vector<int> y_register;
+  for (int i = n; i < 2 * n; ++i) y_register.push_back(i);
+  const auto counts = sv.sample_counts(y_register, 1024, rng);
+  std::cout << a << " + " << b << " (mod " << (1 << n) << ") measured:\n";
+  for (std::size_t v = 0; v < counts.size(); ++v)
+    if (counts[v] > 0)
+      std::cout << "  |" << v << ">  x" << counts[v] << " shots\n";
+  std::cout << "  expected: " << (a + b) % (1 << n) << "\n\n";
+
+  // --- 4. approximate QFT -------------------------------------------------
+  std::cout << "AQFT comparison (same sum, varying approximation depth d):\n";
+  for (int d : {1, 2, 3, kFullDepth}) {
+    AdderOptions opt;
+    opt.qft_depth = d;
+    const QuantumCircuit approx = transpile_to_basis(make_qfa(n, n, opt));
+    StateVector asv = prepare_product_state(
+        2 * n, {{QubitRange{0, n}, QInt::classical(n, a)},
+                {QubitRange{n, n}, QInt::classical(n, b)}});
+    asv.apply_circuit(approx);
+    const auto marg = asv.marginal_probabilities(y_register);
+    const double p_correct = marg[static_cast<u64>((a + b) % (1 << n))];
+    std::cout << "  d=" << (d == kFullDepth ? "full" : std::to_string(d))
+              << ": " << approx.counts().two_qubit << " CX gates, "
+              << "P(correct sum) = " << p_correct << "\n";
+  }
+  std::cout << "\nEven d=2 keeps the correct sum dominant while removing a\n"
+            << "third of the 2-qubit gates — the paper's central trade-off.\n";
+  return 0;
+}

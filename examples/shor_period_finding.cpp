@@ -1,0 +1,106 @@
+// Period finding — the Shor's-algorithm core that motivates the paper's
+// interest in QFT arithmetic — built entirely from this library's
+// components: Beauregard modular multiplication (itself built on
+// Fourier-basis constant adders), phase estimation, and the inverse QFT.
+//
+// We find the order r of a = 7 modulo N = 15 (r = 4): the counting
+// register's distribution peaks at multiples of 2^t / r, and the continued
+// -fraction step recovers r. Runs a full state-vector simulation on 16
+// qubits in a few seconds.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <iostream>
+#include <vector>
+
+#include "qfb/modular.h"
+#include "qfb/qft.h"
+#include "sim/statevector.h"
+
+namespace {
+
+using namespace qfab;
+
+/// Best rational approximation of phase ≈ s/r with r < max_r (continued
+/// fractions).
+u64 denominator_from_phase(double phase, u64 max_r) {
+  double x = phase;
+  u64 num_prev = 1, num = 0;   // convergent numerators (unused but kept
+  u64 den_prev = 0, den = 1;   // for clarity); denominators drive the loop
+  for (int step = 0; step < 16; ++step) {
+    const double a_f = std::floor(1.0 / std::max(x, 1e-12));
+    const auto a = static_cast<u64>(a_f);
+    const u64 den_next = a * den + den_prev;
+    if (den_next > max_r) break;
+    den_prev = std::exchange(den, den_next);
+    num_prev = std::exchange(num, a * num + num_prev);
+    x = 1.0 / std::max(x, 1e-12) - a_f;
+    if (x < 1e-9) break;
+  }
+  return den;
+}
+
+}  // namespace
+
+int main() {
+  const u64 N = 15, a = 7;
+  const int n = 4;   // value register width (N < 16)
+  const int t = 6;   // counting qubits: resolution 2^6 = 64
+
+  // Register layout: x value [0,4), scratch [4,9), ancilla 9,
+  // counting [10, 10+t).
+  QuantumCircuit qc(10 + t);
+  std::vector<int> x = {0, 1, 2, 3};
+  std::vector<int> scratch = {4, 5, 6, 7, 8};
+  const int ancilla = 9;
+  std::vector<int> counting;
+  for (int i = 0; i < t; ++i) counting.push_back(10 + i);
+
+  for (int q : counting) qc.h(q);
+  // Controlled-U^{2^j} with U|x> = |a·x mod N>: multiply by a^{2^j} mod N.
+  for (int j = 0; j < t; ++j) {
+    const u64 factor = modular_pow(a, u64{1} << j, N);
+    append_modular_mul_const(qc, x, scratch, ancilla, factor, N,
+                             counting[static_cast<std::size_t>(j)]);
+  }
+  append_iqft(qc, counting, kFullDepth, /*with_swaps=*/true);
+
+  std::cout << "period finding: a = " << a << ", N = " << N << ", "
+            << qc.num_qubits() << " qubits, " << qc.gates().size()
+            << " abstract gates\n\n";
+
+  StateVector sv(qc.num_qubits());
+  sv.set_basis_state(u64{1});  // |x> = |1>, everything else |0>
+  sv.apply_circuit(qc);
+
+  const auto dist = sv.marginal_probabilities(counting);
+  std::cout << "counting-register peaks (P > 2%):\n";
+  std::vector<std::pair<double, u64>> peaks;
+  for (u64 v = 0; v < dist.size(); ++v)
+    if (dist[v] > 0.02) peaks.push_back({dist[v], v});
+  std::sort(peaks.rbegin(), peaks.rend());
+  for (const auto& [p, v] : peaks) {
+    const double phase = static_cast<double>(v) / std::ldexp(1.0, t);
+    const u64 r = denominator_from_phase(phase, N);
+    std::cout << "  |" << v << ">  P=" << p << "  phase=" << phase
+              << "  -> candidate r=" << r << "\n";
+  }
+
+  // Majority answer: smallest r > 1 whose a^r = 1 (mod N).
+  for (const auto& [p, v] : peaks) {
+    const u64 r =
+        denominator_from_phase(static_cast<double>(v) / std::ldexp(1.0, t), N);
+    if (r > 1 && modular_pow(a, r, N) == 1) {
+      std::cout << "\nrecovered order r = " << r << " (indeed " << a << "^"
+                << r << " mod " << N << " = 1)\n";
+      const u64 g1 = std::gcd(modular_pow(a, r / 2, N) + 1, N);
+      const u64 g2 = std::gcd(modular_pow(a, r / 2, N) + N - 1, N);
+      std::cout << "factors of " << N << ": " << g1 << " x " << g2 << "\n";
+      return 0;
+    }
+  }
+  std::cout << "\nno valid order among peaks (rerun with more counting "
+               "qubits)\n";
+  return 1;
+}

@@ -1,0 +1,31 @@
+// Classical computation of the correct outputs of a quantum arithmetic
+// instance — the ground truth the success metric compares measured counts
+// against (paper Sec. IV: "the binary outputs with the highest frequency
+// matched those anticipated based on the input values").
+#pragma once
+
+#include <vector>
+
+#include "arith/qint.h"
+
+namespace qfab {
+
+/// All distinct values (x + y) mod 2^out_bits over the operand supports,
+/// ascending. For QFA the output register is y, so out_bits = |y|.
+std::vector<u64> expected_sums(const QInt& x, const QInt& y, int out_bits);
+
+/// All distinct values (y - x) mod 2^out_bits (subtractor ground truth).
+std::vector<u64> expected_differences(const QInt& x, const QInt& y,
+                                      int out_bits);
+
+/// All distinct values (x * y) mod 2^out_bits over the operand supports.
+std::vector<u64> expected_products(const QInt& x, const QInt& y,
+                                   int out_bits);
+
+/// All distinct values (acc + Σ w_k x_k) mod 2^out_bits for single-term
+/// weighted sums over each operand's support (weights classical).
+std::vector<u64> expected_weighted_sums(
+    const std::vector<std::pair<QInt, std::int64_t>>& terms, u64 acc_initial,
+    int out_bits);
+
+}  // namespace qfab

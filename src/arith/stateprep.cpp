@@ -1,0 +1,106 @@
+#include "arith/stateprep.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace qfab {
+
+void append_multiplexed_rotation(QuantumCircuit& qc,
+                                 const std::vector<int>& controls, int target,
+                                 const std::vector<double>& angles,
+                                 char axis) {
+  QFAB_CHECK(axis == 'y' || axis == 'z');
+  QFAB_CHECK(angles.size() == pow2(static_cast<int>(controls.size())));
+  if (controls.empty()) {
+    if (axis == 'y') qc.ry(target, angles[0]);
+    else qc.rz(target, angles[0]);
+    return;
+  }
+  // Split on the most significant control: the two halves become
+  // half-sized multiplexors of (lo+hi)/2 and (lo-hi)/2 separated by CX,
+  // using X R(θ) X = R(-θ) for both RY and RZ.
+  const std::size_t half = angles.size() / 2;
+  std::vector<double> sum(half), diff(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    sum[i] = (angles[i] + angles[i + half]) / 2;
+    diff[i] = (angles[i] - angles[i + half]) / 2;
+  }
+  const int top = controls.back();
+  const std::vector<int> rest(controls.begin(), controls.end() - 1);
+  append_multiplexed_rotation(qc, rest, target, sum, axis);
+  qc.cx(top, target);
+  append_multiplexed_rotation(qc, rest, target, diff, axis);
+  qc.cx(top, target);
+}
+
+namespace {
+
+bool all_zero(const std::vector<double>& v) {
+  for (double x : v)
+    if (std::abs(x) > 1e-12) return false;
+  return true;
+}
+
+}  // namespace
+
+void append_state_preparation(QuantumCircuit& qc,
+                              const std::vector<int>& qubits,
+                              const std::vector<cplx>& amplitudes) {
+  const int n = static_cast<int>(qubits.size());
+  QFAB_CHECK(n >= 1);
+  QFAB_CHECK(amplitudes.size() == pow2(n));
+  double norm = 0.0;
+  for (const cplx& a : amplitudes) norm += std::norm(a);
+  QFAB_CHECK_MSG(std::abs(norm - 1.0) < 1e-8,
+                 "state preparation requires a normalized target");
+
+  // Disentangle the LSB repeatedly; record the uncompute multiplexors.
+  QuantumCircuit uncompute(qc.num_qubits());
+  std::vector<cplx> psi = amplitudes;
+  for (int b = 0; b < n; ++b) {
+    const std::size_t pairs = psi.size() / 2;
+    std::vector<double> theta(pairs), phi(pairs);
+    std::vector<cplx> next(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const cplx a = psi[2 * i], c = psi[2 * i + 1];
+      const double ra = std::abs(a), rc = std::abs(c);
+      const double r = std::hypot(ra, rc);
+      if (r < 1e-15) {
+        theta[i] = phi[i] = 0.0;
+        next[i] = cplx{0.0, 0.0};
+        continue;
+      }
+      const double arg_a = (ra < 1e-15) ? 0.0 : std::arg(a);
+      const double arg_c = (rc < 1e-15) ? 0.0 : std::arg(c);
+      theta[i] = 2.0 * std::atan2(rc, ra);
+      phi[i] = arg_c - arg_a;
+      const double mu = 0.5 * (arg_a + arg_c);
+      next[i] = r * cplx{std::cos(mu), std::sin(mu)};
+    }
+    std::vector<int> controls(qubits.begin() + b + 1, qubits.end());
+    // Uncompute order per level: UCRZ(-φ) then UCRY(-θ) sends each pair
+    // (a, c) to (r e^{iμ}, 0).
+    std::vector<double> neg_phi(pairs), neg_theta(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
+      neg_phi[i] = -phi[i];
+      neg_theta[i] = -theta[i];
+    }
+    if (!all_zero(neg_phi))
+      append_multiplexed_rotation(uncompute, controls, qubits[b], neg_phi,
+                                  'z');
+    if (!all_zero(neg_theta))
+      append_multiplexed_rotation(uncompute, controls, qubits[b], neg_theta,
+                                  'y');
+    psi = std::move(next);
+  }
+  // psi is now the scalar e^{iΛ}: uncompute |target> = e^{iΛ}|0>, so the
+  // preparation circuit is uncompute^{-1} with global phase Λ.
+  const double lambda = std::arg(psi[0]);
+  QuantumCircuit prep = uncompute.inverse();
+  // inverse() negated uncompute's (zero) phase; set the true one.
+  qc.compose(prep);
+  qc.add_global_phase(lambda);
+}
+
+}  // namespace qfab

@@ -1,0 +1,33 @@
+// State-preparation circuit synthesis (Shende–Bullock–Markov reverse
+// decomposition, the algorithm behind Qiskit's `initialize` that the paper
+// uses for operand preparation).
+//
+// The synthesizer reduces the target state to |0...0> one qubit at a time
+// with uniformly-controlled RZ/RY multiplexors (decomposed into CX + RY/RZ
+// recursively), then emits the inverse. The paper applies no noise during
+// initialization, so the experiment harness bypasses these circuits and
+// writes amplitudes directly; this module exists for completeness, for the
+// examples, and to document the gate cost of real initialization.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qfab {
+
+/// Append a uniformly-controlled RY (axis='y') or RZ (axis='z') multiplexor:
+/// applies R(angles[c]) to `target` where c is the little-endian value of
+/// `controls` (angles.size() == 2^{controls.size()}).
+void append_multiplexed_rotation(QuantumCircuit& qc,
+                                 const std::vector<int>& controls, int target,
+                                 const std::vector<double>& angles, char axis);
+
+/// Append a circuit preparing `amplitudes` (size 2^{qubits.size()},
+/// normalized) on `qubits` from |0...0>. Exact up to global phase, which is
+/// tracked on the circuit.
+void append_state_preparation(QuantumCircuit& qc,
+                              const std::vector<int>& qubits,
+                              const std::vector<cplx>& amplitudes);
+
+}  // namespace qfab

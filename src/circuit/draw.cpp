@@ -1,0 +1,90 @@
+// ASCII circuit rendering: one text row per qubit, one column per depth
+// level, controls drawn as '*', targets as the gate mnemonic.
+#include <sstream>
+
+#include "circuit/circuit.h"
+
+namespace qfab {
+
+namespace {
+
+std::string cell_label(const Gate& g, int slot) {
+  // slot 0 = target cell, slots >= 1 = control cells.
+  if (slot > 0) return "*";
+  if (g.kind == GateKind::kSWAP) return "x";
+  std::string name = gate_name(g.kind);
+  // Strip the leading c's of controlled mnemonics; controls are drawn as '*'.
+  if (g.kind == GateKind::kCX || g.kind == GateKind::kCCX) name = "X";
+  else if (g.kind == GateKind::kCZ) name = "Z";
+  else if (g.kind == GateKind::kCP || g.kind == GateKind::kCCP) name = "P";
+  else if (g.kind == GateKind::kCH) name = "H";
+  return name;
+}
+
+}  // namespace
+
+std::string QuantumCircuit::draw(std::size_t max_columns) const {
+  const auto nq = static_cast<std::size_t>(num_qubits());
+  // Assign gates to columns greedily by per-qubit occupancy, like depth().
+  std::vector<std::size_t> level(nq, 0);
+  std::vector<std::vector<std::string>> cells(nq);  // [qubit][column]
+  auto ensure_col = [&](std::size_t col) {
+    for (auto& row : cells)
+      while (row.size() <= col) row.emplace_back();
+  };
+
+  for (const Gate& g : gates()) {
+    std::size_t col = 0;
+    for (int i = 0; i < g.arity(); ++i)
+      col = std::max(col, level[static_cast<std::size_t>(g.qubits[i])]);
+    ensure_col(col);
+    for (int i = 0; i < g.arity(); ++i) {
+      const auto q = static_cast<std::size_t>(g.qubits[i]);
+      cells[q][col] = cell_label(g, g.kind == GateKind::kSWAP ? 0 : i);
+      level[q] = col + 1;
+    }
+    // Mark the vertical span so crossing wires are visible.
+    if (g.arity() > 1) {
+      int lo = g.qubits[0], hi = g.qubits[0];
+      for (int i = 1; i < g.arity(); ++i) {
+        lo = std::min(lo, g.qubits[i]);
+        hi = std::max(hi, g.qubits[i]);
+      }
+      for (int q = lo + 1; q < hi; ++q) {
+        auto& cell = cells[static_cast<std::size_t>(q)][col];
+        if (cell.empty()) cell = "|";
+        level[static_cast<std::size_t>(q)] =
+            std::max(level[static_cast<std::size_t>(q)], col + 1);
+      }
+    }
+  }
+
+  // Column widths.
+  const std::size_t ncols = cells.empty() ? 0 : cells[0].size();
+  std::vector<std::size_t> width(ncols, 1);
+  for (const auto& row : cells)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  for (std::size_t q = 0; q < nq; ++q) {
+    std::ostringstream line;
+    line << 'q' << q << ": ";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = cells[q][c];
+      const std::string body = cell.empty() ? "-" : cell;
+      line << '-' << body;
+      for (std::size_t pad = body.size(); pad < width[c]; ++pad) line << '-';
+    }
+    line << '-';
+    std::string s = line.str();
+    if (s.size() > max_columns) {
+      s.resize(max_columns > 3 ? max_columns - 3 : 0);
+      s += "...";
+    }
+    os << s << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qfab

@@ -1,0 +1,48 @@
+// Lightweight precondition / invariant checking.
+//
+// QFAB_CHECK is active in all build types: violated preconditions in a
+// numerical-simulation library almost always mean a silently wrong result,
+// which is far worse than an abort. The cost is negligible next to the
+// state-vector kernels.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qfab {
+
+/// Thrown when a QFAB_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace qfab
+
+#define QFAB_CHECK(cond)                                                \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::qfab::detail::check_failed(#cond, __FILE__, __LINE__, {});      \
+  } while (false)
+
+#define QFAB_CHECK_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream qfab_check_os;                                 \
+      qfab_check_os << msg;                                             \
+      ::qfab::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                   qfab_check_os.str());                \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,138 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace qfab {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    QFAB_CHECK_MSG(starts_with(arg, "--"),
+                   "positional arguments are not supported: " << arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (starts_with(arg, "no-")) {
+      values_[arg.substr(3)] = "false";
+      continue;
+    }
+    // --name value, unless the next token is another flag or absent: then
+    // treat as boolean true.
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> CliFlags::raw(const std::string& name) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliFlags::get_string(const std::string& name,
+                                 std::string def) const {
+  return raw(name).value_or(std::move(def));
+}
+
+long CliFlags::get_int(const std::string& name, long def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const long out = std::strtol(v->c_str(), &end, 10);
+  QFAB_CHECK_MSG(end && *end == '\0', "--" << name << " expects an integer, got "
+                                           << *v);
+  return out;
+}
+
+double CliFlags::get_double(const std::string& name, double def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  QFAB_CHECK_MSG(end && *end == '\0', "--" << name << " expects a number, got "
+                                           << *v);
+  return out;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  QFAB_CHECK_MSG(false, "--" << name << " expects a boolean, got " << *v);
+  return def;
+}
+
+std::vector<double> CliFlags::get_double_list(const std::string& name,
+                                              std::vector<double> def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  std::vector<double> out;
+  std::istringstream is(*v);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    char* end = nullptr;
+    out.push_back(std::strtod(item.c_str(), &end));
+    QFAB_CHECK_MSG(end && *end == '\0',
+                   "--" << name << ": bad list element " << item);
+  }
+  return out;
+}
+
+std::vector<long> CliFlags::get_int_list(const std::string& name,
+                                         std::vector<long> def) const {
+  const auto v = raw(name);
+  if (!v) return def;
+  std::vector<long> out;
+  std::istringstream is(*v);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    char* end = nullptr;
+    out.push_back(std::strtol(item.c_str(), &end, 10));
+    QFAB_CHECK_MSG(end && *end == '\0',
+                   "--" << name << ": bad list element " << item);
+  }
+  return out;
+}
+
+bool CliFlags::validate() const {
+  bool ok = true;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!touched_.count(name)) {
+      std::cerr << program_ << ": unknown flag --" << name << '\n';
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::cerr << "known flags:";
+    for (const auto& [name, used] : touched_) {
+      (void)used;
+      std::cerr << " --" << name;
+    }
+    std::cerr << '\n';
+  }
+  return ok;
+}
+
+}  // namespace qfab

@@ -1,0 +1,97 @@
+#include "common/parallel.h"
+
+#include <atomic>
+
+namespace qfab {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  // With a single hardware thread, keep zero workers: callers run inline.
+  if (threads <= 1) return;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();  // no workers: run inline
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    jobs_.push(std::move(job));
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (jobs_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t n = end - begin;
+  if (pool.size() <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  // Dynamic self-scheduling via a shared atomic cursor: instance costs vary
+  // (error trajectories replay different gate suffixes), so static chunks
+  // would straggle.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  const std::size_t jobs = std::min(pool.size(), n);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    pool.submit([cursor, end, &body] {
+      for (;;) {
+        const std::size_t i = cursor->fetch_add(1);
+        if (i >= end) return;
+        body(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace qfab

@@ -1,0 +1,58 @@
+// Minimal work-sharing layer.
+//
+// Experiment sweeps are embarrassingly parallel over operand instances, so a
+// static-chunked parallel_for over a shared thread pool is all we need. On a
+// single-core host (the common CI case for this repo) everything degenerates
+// to a plain serial loop with no thread creation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qfab {
+
+/// Fixed-size pool of worker threads executing submitted jobs FIFO.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a job. Jobs must not throw; exceptions terminate.
+  void submit(std::function<void()> job);
+
+  /// Block until all submitted jobs have completed.
+  void wait_idle();
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run body(i) for i in [begin, end). Uses the shared pool when it has more
+/// than one worker and the range is non-trivial; otherwise runs serially.
+/// body must be safe to invoke concurrently for distinct i.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace qfab

@@ -1,0 +1,137 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace qfab {
+
+namespace {
+constexpr unsigned __int128 kPcgMult =
+    (static_cast<unsigned __int128>(2549297995355413924ULL) << 64) |
+    4865540595714422341ULL;
+}  // namespace
+
+Pcg64::Pcg64(std::uint64_t seed, std::uint64_t stream) {
+  inc_ = (static_cast<u128>(stream) << 1) | 1;
+  state_ = 0;
+  (*this)();
+  state_ += (static_cast<u128>(seed) << 64) | (seed * 0x9e3779b97f4a7c15ULL);
+  (*this)();
+}
+
+Pcg64::result_type Pcg64::operator()() {
+  const u128 old = state_;
+  state_ = old * kPcgMult + inc_;
+  const std::uint64_t xored =
+      static_cast<std::uint64_t>(old >> 64) ^ static_cast<std::uint64_t>(old);
+  const int rot = static_cast<int>(old >> 122);
+  return (xored >> rot) | (xored << ((-rot) & 63));
+}
+
+double Pcg64::uniform() {
+  // 53 random bits into [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Pcg64::uniform_int(std::uint64_t n) {
+  QFAB_CHECK(n > 0);
+  const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+Pcg64 Pcg64::split(std::uint64_t salt) {
+  // Mix current state with salt to seed a child on a distinct stream.
+  const std::uint64_t s = (*this)() ^ (salt * 0xbf58476d1ce4e5b9ULL);
+  const std::uint64_t t = (*this)() + (salt ^ 0x94d049bb133111ebULL);
+  return Pcg64(s, t | 1);
+}
+
+std::uint64_t binomial(Pcg64& rng, std::uint64_t n, double p) {
+  QFAB_CHECK(p >= 0.0 && p <= 1.0);
+  if (n == 0 || p == 0.0) return 0;
+  if (p == 1.0) return n;
+  if (p > 0.5) return n - binomial(rng, n, 1.0 - p);
+
+  const double mean = static_cast<double>(n) * p;
+  if (mean < 30.0) {
+    // Inversion by sequential search on the CDF.
+    const double q = 1.0 - p;
+    double pr = std::pow(q, static_cast<double>(n));
+    double cdf = pr;
+    const double u = rng.uniform();
+    std::uint64_t k = 0;
+    while (u > cdf && k < n) {
+      ++k;
+      pr *= (static_cast<double>(n - k + 1) / static_cast<double>(k)) *
+            (p / q);
+      cdf += pr;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction, clamped and resampled
+  // only at the (negligible-probability) tails.
+  const double sd = std::sqrt(mean * (1.0 - p));
+  for (;;) {
+    const double u1 = rng.uniform();
+    const double u2 = rng.uniform();
+    const double z = std::sqrt(-2.0 * std::log(1.0 - u1)) *
+                     std::cos(6.283185307179586 * u2);
+    const double x = mean + sd * z + 0.5;
+    if (x < 0.0) continue;
+    const auto k = static_cast<std::uint64_t>(x);
+    if (k <= n) return k;
+  }
+}
+
+std::vector<std::uint64_t> multinomial(Pcg64& rng, std::uint64_t trials,
+                                       const std::vector<double>& probs) {
+  std::vector<std::uint64_t> counts(probs.size(), 0);
+  double total = 0.0;
+  for (double p : probs) {
+    QFAB_CHECK(p >= 0.0);
+    total += p;
+  }
+  std::uint64_t remaining = trials;
+  double mass = total;
+  for (std::size_t i = 0; i + 1 < probs.size() && remaining > 0; ++i) {
+    if (mass <= 0.0) break;
+    const double p = std::min(1.0, probs[i] / mass);
+    const std::uint64_t c = binomial(rng, remaining, p);
+    counts[i] = c;
+    remaining -= c;
+    mass -= probs[i];
+  }
+  if (!counts.empty()) counts.back() += remaining;
+  return counts;
+}
+
+std::vector<std::uint64_t> sample_without_replacement(Pcg64& rng,
+                                                      std::uint64_t n,
+                                                      std::uint64_t k) {
+  QFAB_CHECK(k <= n);
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::uint64_t> idx(n);
+    for (std::uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t j = i + rng.uniform_int(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    out.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
+  } else {
+    // Sparse case: rejection into a hash set.
+    std::unordered_set<std::uint64_t> seen;
+    while (seen.size() < k) seen.insert(rng.uniform_int(n));
+    out.assign(seen.begin(), seen.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace qfab

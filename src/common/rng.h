@@ -1,0 +1,64 @@
+// Deterministic, splittable random number generation.
+//
+// All stochastic components of the library (operand sampling, Pauli
+// trajectory sampling, multinomial shot synthesis) draw from Pcg64 streams
+// derived from a single experiment seed, so every figure is reproducible
+// bit-for-bit from its printed seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qfab {
+
+/// PCG64 (XSL-RR 128/64) generator. Satisfies UniformRandomBitGenerator.
+class Pcg64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Pcg64(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator; deterministic in (this, salt).
+  Pcg64 split(std::uint64_t salt);
+
+ private:
+  using u128 = unsigned __int128;
+  u128 state_;
+  u128 inc_;  // odd
+};
+
+/// Binomial(n, p) sample. Exact inversion for small n*p, BTPE-free
+/// normal-rejection hybrid otherwise (adequate for trajectory scheduling).
+std::uint64_t binomial(Pcg64& rng, std::uint64_t n, double p);
+
+/// Multinomial sample: `trials` draws over `probs` (need not be normalized).
+/// Returns counts aligned with probs. Uses sequential binomial conditioning.
+std::vector<std::uint64_t> multinomial(Pcg64& rng, std::uint64_t trials,
+                                       const std::vector<double>& probs);
+
+/// Sample k distinct values from [0, n) (k <= n), ascending order.
+std::vector<std::uint64_t> sample_without_replacement(Pcg64& rng,
+                                                      std::uint64_t n,
+                                                      std::uint64_t k);
+
+}  // namespace qfab

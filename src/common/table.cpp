@@ -1,0 +1,80 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace qfab {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  QFAB_CHECK(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  QFAB_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << headers_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  QFAB_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      // Cells in this library never contain quotes; escape commas only.
+      const bool needs_quotes = row[c].find(',') != std::string::npos;
+      if (needs_quotes) os << '"' << row[c] << '"';
+      else os << row[c];
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  QFAB_CHECK_MSG(os.good(), "write failed for " << path);
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt_double(100.0 * fraction, decimals);
+}
+
+}  // namespace qfab

@@ -1,0 +1,39 @@
+// ASCII table and CSV emission for bench output.
+//
+// Bench binaries print the same rows/series the paper reports; TextTable
+// renders aligned monospace tables, and the same data can be mirrored to a
+// CSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qfab {
+
+class TextTable {
+ public:
+  /// Column headers define the width of the table.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add a row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Write as CSV (headers + rows) to `path`. Throws CheckError on I/O error.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style %.*f formatting helpers used by the bench binaries.
+std::string fmt_double(double v, int decimals);
+std::string fmt_percent(double fraction, int decimals);  // 0.123 -> "12.3"
+
+}  // namespace qfab

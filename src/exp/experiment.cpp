@@ -1,0 +1,118 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+
+#include "transpile/transpile.h"
+
+namespace qfab {
+
+int resolve_rotation_cap(const CircuitSpec& spec) {
+  if (spec.max_rotation_order >= 0) return spec.max_rotation_order;
+  // Paper convention (EXPERIMENTS.md): the QFA addition step omits R_n
+  // (cap n-1); the QFM cadd keeps all rotations.
+  return spec.op == Operation::kAdd ? spec.n - 1 : 0;
+}
+
+QuantumCircuit build_arith_circuit(const CircuitSpec& spec) {
+  QFAB_CHECK(spec.n >= 1);
+  const int cap = resolve_rotation_cap(spec);
+  if (spec.op == Operation::kAdd) {
+    AdderOptions options;
+    options.qft_depth = spec.depth;
+    options.add_depth = spec.add_depth;
+    options.max_rotation_order = cap;
+    return make_qfa(spec.n, spec.n, options);
+  }
+  MultiplierOptions options;
+  options.qft_depth = spec.depth;
+  options.add_depth = spec.add_depth;
+  options.max_rotation_order = cap;
+  return make_qfm(spec.n, spec.n, options, spec.fused_multiplier);
+}
+
+QuantumCircuit build_transpiled_circuit(const CircuitSpec& spec) {
+  return transpile_to_basis(build_arith_circuit(spec));
+}
+
+std::vector<int> output_qubits(const CircuitSpec& spec) {
+  // Register layout of make_qfa / make_qfm: x at [0,n), y at [n,2n),
+  // z at [2n,4n).
+  const int start =
+      spec.measure_all ? 0 : (spec.op == Operation::kAdd ? spec.n : 2 * spec.n);
+  const int size = output_bits(spec);
+  std::vector<int> out(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) out[static_cast<std::size_t>(i)] = start + i;
+  return out;
+}
+
+int output_bits(const CircuitSpec& spec) {
+  const int result_bits = spec.op == Operation::kAdd ? spec.n : 2 * spec.n;
+  if (!spec.measure_all) return result_bits;
+  return spec.op == Operation::kAdd ? 2 * spec.n : 4 * spec.n;
+}
+
+std::vector<u64> correct_outputs(const CircuitSpec& spec,
+                                 const ArithInstance& inst) {
+  if (!spec.measure_all) {
+    const int bits = output_bits(spec);
+    return spec.op == Operation::kAdd
+               ? expected_sums(inst.x, inst.y, bits)
+               : expected_products(inst.x, inst.y, bits);
+  }
+  // Joint bitstrings: every (x_i, y_j) support pair maps to one outcome
+  // with the operands preserved alongside the result.
+  std::vector<u64> out;
+  const int n = spec.n;
+  for (const auto& tx : inst.x.terms())
+    for (const auto& ty : inst.y.terms()) {
+      if (spec.op == Operation::kAdd) {
+        const u64 sum = (tx.value + ty.value) & (pow2(n) - 1);
+        out.push_back(tx.value | (sum << n));
+      } else {
+        const u64 prod = (tx.value * ty.value) & (pow2(2 * n) - 1);
+        out.push_back(tx.value | (ty.value << n) | (prod << (2 * n)));
+      }
+    }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+StateVector make_initial_state(const CircuitSpec& spec,
+                               const ArithInstance& inst) {
+  const int total =
+      spec.op == Operation::kAdd ? 2 * spec.n : 4 * spec.n;
+  const QubitRange xr{0, spec.n};
+  const QubitRange yr{spec.n, spec.n};
+  return prepare_product_state(total, {{xr, inst.x}, {yr, inst.y}});
+}
+
+InstanceContext::InstanceContext(const QuantumCircuit& transpiled,
+                                 const CircuitSpec& spec,
+                                 const ArithInstance& inst,
+                                 const RunOptions& run)
+    : clean_(transpiled, make_initial_state(spec, inst),
+             run.checkpoint_interval),
+      output_qubits_(output_qubits(spec)),
+      correct_(correct_outputs(spec, inst)) {}
+
+InstanceOutcome InstanceContext::evaluate(const NoiseModel& noise,
+                                          const RunOptions& run,
+                                          Pcg64& rng) const {
+  std::vector<std::uint64_t> counts;
+  const ErrorLocations errors(clean_.circuit(), noise);
+  if (run.per_shot && noise.enabled()) {
+    counts = sample_counts_per_shot(clean_, errors, output_qubits_,
+                                    run.shots, rng, run.readout);
+  } else {
+    EstimatorOptions est;
+    est.error_trajectories = run.error_trajectories;
+    std::vector<double> channel =
+        estimate_channel_marginal(clean_, errors, output_qubits_, est, rng);
+    if (run.readout.enabled()) apply_readout_error(channel, run.readout);
+    counts = sample_shot_counts(channel, run.shots, rng);
+  }
+  return evaluate_counts(counts, correct_);
+}
+
+}  // namespace qfab

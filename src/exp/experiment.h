@@ -1,0 +1,95 @@
+// Per-instance experiment execution: circuit construction for the paper's
+// two operations, noise-free initialization, and noisy evaluation against
+// the success metric.
+#pragma once
+
+#include <cstdint>
+
+#include "arith/expected.h"
+#include "exp/instances.h"
+#include "exp/success.h"
+#include "noise/estimator.h"
+#include "qfb/adder.h"
+#include "qfb/multiplier.h"
+
+namespace qfab {
+
+enum class Operation { kAdd, kMultiply };
+
+/// Which circuit a point simulates.
+struct CircuitSpec {
+  Operation op = Operation::kAdd;
+  /// Operand width n. QFA: x and y both n qubits (sums mod 2^n, the
+  /// paper's Fig. 1 configuration); QFM: x, y n qubits, product 2n.
+  int n = 8;
+  /// AQFT approximation depth (kFullDepth = full).
+  int depth = kFullDepth;
+  /// Approximate-addition depth (0 = exact; ablation only).
+  int add_depth = 0;
+  /// Addition-step rotation cap; -1 selects the paper's convention
+  /// (n-1 for QFA — reproducing Table I exactly — and none for QFM).
+  int max_rotation_order = -1;
+  /// Use the fused (Ruiz-Perez single-QFT) multiplier instead of the
+  /// paper's cQFA cascade.
+  bool fused_multiplier = false;
+  /// Measure every register (operands included) and require the *joint*
+  /// bitstring to be correct, instead of measuring only the result
+  /// register. Errors that corrupt an operand register then count against
+  /// the instance even when the arithmetic result survives.
+  bool measure_all = false;
+};
+
+/// Resolved rotation cap for a spec (see max_rotation_order).
+int resolve_rotation_cap(const CircuitSpec& spec);
+
+/// The abstract (untranspiled) circuit: registers "x","y" (+"z" for QFM).
+QuantumCircuit build_arith_circuit(const CircuitSpec& spec);
+
+/// Basis-gate circuit (decomposed + peephole-optimized), as simulated.
+QuantumCircuit build_transpiled_circuit(const CircuitSpec& spec);
+
+/// Global indices of the measured register (y for add, z for multiply).
+std::vector<int> output_qubits(const CircuitSpec& spec);
+int output_bits(const CircuitSpec& spec);
+
+/// Ground-truth correct outputs for an operand instance.
+std::vector<u64> correct_outputs(const CircuitSpec& spec,
+                                 const ArithInstance& inst);
+
+/// Noise-free initial state (amplitudes written directly, per the paper).
+StateVector make_initial_state(const CircuitSpec& spec,
+                               const ArithInstance& inst);
+
+struct RunOptions {
+  std::uint64_t shots = 2048;
+  int error_trajectories = 12;
+  /// Paper-faithful per-shot trajectory sampling instead of the stratified
+  /// channel estimator.
+  bool per_shot = false;
+  std::size_t checkpoint_interval = 64;
+  bool noisy_rz = true;
+  bool noisy_id = true;
+  /// Measurement confusion applied to every output bit (extension; the
+  /// paper's sweeps use none).
+  ReadoutError readout;
+};
+
+/// All noisy-evaluation state shared across error rates for one
+/// (spec, instance) pair: the transpiled circuit's ideal run (with
+/// checkpoints) plus the instance's ground truth.
+class InstanceContext {
+ public:
+  InstanceContext(const QuantumCircuit& transpiled, const CircuitSpec& spec,
+                  const ArithInstance& inst, const RunOptions& run);
+
+  /// Evaluate the instance at one noise point.
+  InstanceOutcome evaluate(const NoiseModel& noise, const RunOptions& run,
+                           Pcg64& rng) const;
+
+ private:
+  CleanRun clean_;
+  std::vector<int> output_qubits_;
+  std::vector<u64> correct_;
+};
+
+}  // namespace qfab

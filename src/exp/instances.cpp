@@ -1,0 +1,56 @@
+#include "exp/instances.h"
+
+#include <set>
+
+namespace qfab {
+
+namespace {
+
+/// Uniformly sample an order-`order` qinteger on `bits` qubits with equal
+/// amplitudes on distinct random values.
+QInt random_qint(int bits, int order, Pcg64& rng) {
+  QFAB_CHECK(order >= 1 &&
+             static_cast<u64>(order) <= pow2(bits));
+  const std::vector<u64> values =
+      sample_without_replacement(rng, pow2(bits), static_cast<u64>(order));
+  std::vector<std::int64_t> signed_values(values.begin(), values.end());
+  return QInt::uniform(bits, signed_values);
+}
+
+std::vector<u64> instance_key(const ArithInstance& inst) {
+  std::vector<u64> key = inst.x.support();
+  key.push_back(~u64{0});  // separator
+  const std::vector<u64> ys = inst.y.support();
+  key.insert(key.end(), ys.begin(), ys.end());
+  return key;
+}
+
+}  // namespace
+
+std::vector<ArithInstance> generate_instances(int count, int bits_x,
+                                              int bits_y,
+                                              const OperandOrders& orders,
+                                              Pcg64& rng) {
+  QFAB_CHECK(count >= 1);
+  std::vector<ArithInstance> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::set<std::vector<u64>> seen;
+  // Cap the rejection effort: when the operand space is close to exhausted
+  // (e.g. 2-bit exhaustive tests), duplicates are allowed.
+  const int max_attempts_per_instance = 64;
+  for (int i = 0; i < count; ++i) {
+    ArithInstance inst{random_qint(bits_x, orders.order_x, rng),
+                       random_qint(bits_y, orders.order_y, rng)};
+    for (int attempt = 0; attempt < max_attempts_per_instance &&
+                          seen.count(instance_key(inst)) != 0;
+         ++attempt) {
+      inst = ArithInstance{random_qint(bits_x, orders.order_x, rng),
+                           random_qint(bits_y, orders.order_y, rng)};
+    }
+    seen.insert(instance_key(inst));
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+}  // namespace qfab

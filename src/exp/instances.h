@@ -1,0 +1,33 @@
+// Random operand-instance generation (paper Sec. IV: each point averages
+// >= 200 instances over "a random, unique choice of qintegers"; superposed
+// operands have evenly distributed amplitudes; each figure row reuses one
+// operand set across both error-rate columns).
+#pragma once
+
+#include <vector>
+
+#include "arith/qint.h"
+#include "common/rng.h"
+
+namespace qfab {
+
+struct OperandOrders {
+  int order_x = 1;  // number of superposed basis states in x
+  int order_y = 1;  // ... in y (the updated register for addition)
+};
+
+struct ArithInstance {
+  QInt x;
+  QInt y;
+};
+
+/// Generate `count` instances with x on `bits_x` qubits and y on `bits_y`,
+/// uniform amplitudes, supports sampled uniformly at random without
+/// repetition of the full (x, y) pair across instances (falls back to
+/// allowing repeats when the operand space is smaller than `count`).
+std::vector<ArithInstance> generate_instances(int count, int bits_x,
+                                              int bits_y,
+                                              const OperandOrders& orders,
+                                              Pcg64& rng);
+
+}  // namespace qfab

@@ -1,0 +1,67 @@
+#include "exp/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qfab {
+
+namespace {
+void check_same_size(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  QFAB_CHECK_MSG(p.size() == q.size() && !p.empty(),
+                 "metric requires equal-size distributions");
+}
+}  // namespace
+
+double total_variation(const std::vector<double>& p,
+                       const std::vector<double>& q) {
+  check_same_size(p, q);
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) d += std::abs(p[i] - q[i]);
+  return d / 2.0;
+}
+
+double hellinger_fidelity(const std::vector<double>& p,
+                          const std::vector<double>& q) {
+  check_same_size(p, q);
+  double bc = 0.0;  // Bhattacharyya coefficient
+  for (std::size_t i = 0; i < p.size(); ++i)
+    bc += std::sqrt(std::max(0.0, p[i]) * std::max(0.0, q[i]));
+  return bc * bc;
+}
+
+double kl_divergence(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  check_same_size(p, q);
+  double d = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    if (q[i] <= 0.0) return 1e12;
+    d += p[i] * std::log(p[i] / q[i]);
+  }
+  return d;
+}
+
+double success_mass(const std::vector<double>& p,
+                    const std::vector<u64>& correct_outputs) {
+  QFAB_CHECK(std::is_sorted(correct_outputs.begin(), correct_outputs.end()));
+  double mass = 0.0;
+  for (u64 v : correct_outputs) {
+    QFAB_CHECK(v < p.size());
+    mass += p[v];
+  }
+  return mass;
+}
+
+std::vector<double> normalize_counts(
+    const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  QFAB_CHECK(total > 0);
+  std::vector<double> out(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    out[i] = static_cast<double>(counts[i]) / static_cast<double>(total);
+  return out;
+}
+
+}  // namespace qfab

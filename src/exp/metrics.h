@@ -1,0 +1,36 @@
+// Distribution- and fidelity-based quality metrics — the "more advanced
+// success metric, such as evaluating the quantum state fidelity [Jozsa]"
+// that the paper's discussion proposes as future work, plus the standard
+// distribution distances used to compare noisy outputs against ideal ones.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace qfab {
+
+/// Total-variation distance (1/2)·Σ|p_i - q_i| ∈ [0, 1].
+double total_variation(const std::vector<double>& p,
+                       const std::vector<double>& q);
+
+/// Hellinger fidelity (Σ sqrt(p_i q_i))² — the classical counterpart of
+/// state fidelity, what Qiskit reports as `hellinger_fidelity`.
+double hellinger_fidelity(const std::vector<double>& p,
+                          const std::vector<double>& q);
+
+/// Kullback–Leibler divergence D(p || q), natural log; q_i = 0 bins with
+/// p_i > 0 contribute +inf (returned as a large finite sentinel 1e12).
+double kl_divergence(const std::vector<double>& p,
+                     const std::vector<double>& q);
+
+/// Probability mass on a sorted set of correct outcomes — the simplest
+/// graded alternative to the paper's win/lose metric.
+double success_mass(const std::vector<double>& p,
+                    const std::vector<u64>& correct_outputs);
+
+/// Empirical distribution from shot counts.
+std::vector<double> normalize_counts(const std::vector<std::uint64_t>& counts);
+
+}  // namespace qfab

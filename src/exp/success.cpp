@@ -1,0 +1,63 @@
+#include "exp/success.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qfab {
+
+InstanceOutcome evaluate_counts(const std::vector<std::uint64_t>& counts,
+                                const std::vector<u64>& correct_outputs) {
+  QFAB_CHECK(!correct_outputs.empty());
+  QFAB_CHECK(std::is_sorted(correct_outputs.begin(), correct_outputs.end()));
+  std::int64_t min_correct = -1;
+  std::int64_t max_incorrect = 0;
+  std::size_t ci = 0;
+  for (std::size_t value = 0; value < counts.size(); ++value) {
+    const auto c = static_cast<std::int64_t>(counts[value]);
+    if (ci < correct_outputs.size() && correct_outputs[ci] == value) {
+      min_correct = (min_correct < 0) ? c : std::min(min_correct, c);
+      ++ci;
+    } else {
+      max_incorrect = std::max(max_incorrect, c);
+    }
+  }
+  QFAB_CHECK_MSG(ci == correct_outputs.size(),
+                 "correct output beyond count range");
+  InstanceOutcome out;
+  out.margin = min_correct - max_incorrect;
+  out.success = out.margin >= 0;
+  return out;
+}
+
+PointStats aggregate_outcomes(const std::vector<InstanceOutcome>& outcomes) {
+  PointStats stats;
+  stats.instances = static_cast<int>(outcomes.size());
+  if (outcomes.empty()) return stats;
+
+  double mean = 0.0;
+  for (const InstanceOutcome& o : outcomes) {
+    if (o.success) ++stats.successes;
+    mean += static_cast<double>(o.margin);
+  }
+  mean /= static_cast<double>(outcomes.size());
+  stats.success_rate =
+      static_cast<double>(stats.successes) / static_cast<double>(outcomes.size());
+
+  double var = 0.0;
+  for (const InstanceOutcome& o : outcomes) {
+    const double d = static_cast<double>(o.margin) - mean;
+    var += d * d;
+  }
+  stats.sigma = std::sqrt(var / static_cast<double>(outcomes.size()));
+
+  for (const InstanceOutcome& o : outcomes) {
+    const auto m = static_cast<double>(o.margin);
+    if (o.success && m < stats.sigma) ++stats.lower_flips;
+    if (!o.success && m > -stats.sigma) ++stats.upper_flips;
+  }
+  return stats;
+}
+
+}  // namespace qfab

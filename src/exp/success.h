@@ -1,0 +1,44 @@
+// The paper's success metric and error-bar statistics (Sec. IV).
+//
+// An instance is successful when no incorrect output out-counts any correct
+// output (ties allowed). Its *margin* is min(correct counts) - max(incorrect
+// counts); sigma is the standard deviation of margins across a point's
+// instances, and the error bars count instances within one sigma of
+// flipping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+
+namespace qfab {
+
+struct InstanceOutcome {
+  bool success = false;
+  /// min over correct outputs of count - max over incorrect outputs of
+  /// count. >= 0 iff success.
+  std::int64_t margin = 0;
+};
+
+/// Evaluate one instance's shot counts (index = measured value) against the
+/// sorted list of correct outputs.
+InstanceOutcome evaluate_counts(const std::vector<std::uint64_t>& counts,
+                                const std::vector<u64>& correct_outputs);
+
+struct PointStats {
+  int instances = 0;
+  int successes = 0;
+  double success_rate = 0.0;  // successes / instances
+  double sigma = 0.0;         // stddev of margins (population)
+  /// Successful instances with margin < sigma: would have failed within 1σ
+  /// (the plot's lower error bar, as an instance count).
+  int lower_flips = 0;
+  /// Failed instances with margin > -sigma: would have succeeded within 1σ
+  /// (upper error bar).
+  int upper_flips = 0;
+};
+
+PointStats aggregate_outcomes(const std::vector<InstanceOutcome>& outcomes);
+
+}  // namespace qfab

@@ -1,0 +1,137 @@
+#include "exp/sweep.h"
+
+#include <cmath>
+#include <iostream>
+#include <ostream>
+
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+
+namespace qfab {
+
+namespace {
+
+/// Deterministic per-(instance, depth, rate) RNG, independent of execution
+/// order and thread scheduling.
+Pcg64 point_rng(std::uint64_t seed, std::size_t instance, std::size_t depth_i,
+                std::size_t rate_i) {
+  const std::uint64_t salt = (static_cast<std::uint64_t>(instance) << 32) ^
+                             (static_cast<std::uint64_t>(depth_i) << 16) ^
+                             static_cast<std::uint64_t>(rate_i);
+  Pcg64 root(seed, 0x5eedULL);
+  return root.split(salt);
+}
+
+}  // namespace
+
+const SweepPoint& SweepResult::at(int depth, double rate_percent) const {
+  for (const SweepPoint& p : points)
+    if (p.depth == depth && std::abs(p.rate_percent - rate_percent) < 1e-12)
+      return p;
+  QFAB_CHECK_MSG(false, "no sweep point for depth " << depth << " rate "
+                                                    << rate_percent);
+  return points.front();
+}
+
+SweepResult run_sweep(const SweepConfig& config,
+                      const std::vector<ArithInstance>& instances) {
+  QFAB_CHECK(!config.depths.empty());
+  QFAB_CHECK(!instances.empty());
+  Stopwatch watch;
+
+  std::vector<double> rates = config.rates_percent;
+  if (config.include_noise_free) rates.insert(rates.begin(), 0.0);
+  const std::size_t n_depths = config.depths.size();
+  const std::size_t n_rates = rates.size();
+  const std::size_t n_inst = instances.size();
+
+  // outcomes[depth][rate][instance]
+  std::vector<std::vector<std::vector<InstanceOutcome>>> outcomes(
+      n_depths, std::vector<std::vector<InstanceOutcome>>(
+                    n_rates, std::vector<InstanceOutcome>(n_inst)));
+
+  // Transpile once per depth (cheap next to simulation, but shared).
+  std::vector<QuantumCircuit> circuits;
+  circuits.reserve(n_depths);
+  for (int depth : config.depths) {
+    CircuitSpec spec = config.base;
+    spec.depth = depth;
+    circuits.push_back(build_transpiled_circuit(spec));
+  }
+
+  parallel_for(0, n_inst, [&](std::size_t i) {
+    for (std::size_t d = 0; d < n_depths; ++d) {
+      CircuitSpec spec = config.base;
+      spec.depth = config.depths[d];
+      // One ideal run (with checkpoints) serves every rate cluster.
+      const InstanceContext context(circuits[d], spec, instances[i],
+                                    config.run);
+      for (std::size_t r = 0; r < n_rates; ++r) {
+        NoiseModel noise;
+        (config.vary_2q ? noise.p2q : noise.p1q) = rates[r] / 100.0;
+        noise.noisy_rz = config.run.noisy_rz;
+        noise.noisy_id = config.run.noisy_id;
+        Pcg64 rng = point_rng(config.seed, i, d, r);
+        outcomes[d][r][i] = context.evaluate(noise, config.run, rng);
+      }
+    }
+    if (config.progress) std::cerr << '.' << std::flush;
+  });
+  if (config.progress) std::cerr << '\n';
+
+  SweepResult result;
+  result.config = config;
+  result.config.instances = static_cast<int>(n_inst);
+  for (std::size_t d = 0; d < n_depths; ++d)
+    for (std::size_t r = 0; r < n_rates; ++r) {
+      SweepPoint point;
+      point.depth = config.depths[d];
+      point.rate_percent = rates[r];
+      point.stats = aggregate_outcomes(outcomes[d][r]);
+      result.points.push_back(point);
+    }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+std::string depth_label(int depth) {
+  return depth == kFullDepth ? "full" : std::to_string(depth);
+}
+
+TextTable sweep_table(const SweepResult& result) {
+  std::vector<std::string> headers = {
+      result.config.vary_2q ? "P2q_err%" : "P1q_err%"};
+  for (int d : result.config.depths) headers.push_back("d=" + depth_label(d));
+  TextTable table(std::move(headers));
+
+  std::vector<double> rates = result.config.rates_percent;
+  if (result.config.include_noise_free) rates.insert(rates.begin(), 0.0);
+  for (double rate : rates) {
+    std::vector<std::string> row;
+    row.push_back(rate == 0.0 ? "noise-free" : fmt_double(rate, 2));
+    for (int d : result.config.depths) {
+      const PointStats& s = result.at(d, rate).stats;
+      row.push_back(fmt_percent(s.success_rate, 1) + "% [-" +
+                    std::to_string(s.lower_flips) + "/+" +
+                    std::to_string(s.upper_flips) + "]");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void print_sweep(std::ostream& os, const SweepResult& result,
+                 const std::string& caption) {
+  os << caption << '\n';
+  os << "  instances=" << result.config.instances
+     << " shots=" << result.config.run.shots << " traj="
+     << result.config.run.error_trajectories
+     << (result.config.run.per_shot ? " mode=per-shot" : " mode=stratified")
+     << " seed=" << result.config.seed << " ("
+     << fmt_double(result.seconds, 1) << " s)\n";
+  os << "  cells: success% [-lower/+upper error-bar instance flips]\n";
+  sweep_table(result).print(os);
+  os << '\n';
+}
+
+}  // namespace qfab

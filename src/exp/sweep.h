@@ -1,0 +1,58 @@
+// Sweep driver: one figure panel = one sweep over (AQFT depth series ×
+// gate-error-rate clusters) at fixed operation / operand orders, plus the
+// noise-free cluster at the x-origin (paper Figs. 1-2).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "exp/experiment.h"
+
+namespace qfab {
+
+struct SweepConfig {
+  CircuitSpec base;               // depth is overridden per series
+  std::vector<int> depths;        // AQFT depth series (kFullDepth = "full")
+  std::vector<double> rates_percent;  // gate error rates, in percent
+  bool vary_2q = false;           // rates drive p2q (else p1q)
+  OperandOrders orders;
+  int instances = 12;
+  RunOptions run;
+  std::uint64_t seed = 0xC0FFEEULL;
+  bool include_noise_free = true;
+  bool progress = false;          // per-instance dots on stderr
+};
+
+struct SweepPoint {
+  int depth = kFullDepth;
+  double rate_percent = 0.0;  // 0 = noise-free cluster
+  PointStats stats;
+};
+
+struct SweepResult {
+  SweepConfig config;
+  std::vector<SweepPoint> points;  // ordered (depth-major, rate-minor)
+  double seconds = 0.0;
+
+  const SweepPoint& at(int depth, double rate_percent) const;
+};
+
+/// Run a sweep on a fixed operand set (generate via generate_instances with
+/// the row seed so both error-rate columns see identical operands).
+SweepResult run_sweep(const SweepConfig& config,
+                      const std::vector<ArithInstance>& instances);
+
+/// Render a panel: one row per rate cluster, one column per depth, cells
+/// "succ% s=σ [-lo/+hi]" (error bars as instance counts, as in the paper).
+TextTable sweep_table(const SweepResult& result);
+
+/// Human-readable depth label ("1", "2", ..., "full").
+std::string depth_label(int depth);
+
+/// Print the panel with a caption to `os`.
+void print_sweep(std::ostream& os, const SweepResult& result,
+                 const std::string& caption);
+
+}  // namespace qfab

@@ -1,0 +1,156 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace qfab {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<cplx>> init) {
+  rows_ = init.size();
+  QFAB_CHECK(rows_ > 0);
+  cols_ = init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    QFAB_CHECK(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  QFAB_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = at(i, k);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out.at(i, j) += a * rhs.at(k, j);
+    }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  QFAB_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  QFAB_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(cplx scalar) const {
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] * scalar;
+  return out;
+}
+
+std::vector<cplx> Matrix::apply(const std::vector<cplx>& v) const {
+  QFAB_CHECK(v.size() == cols_);
+  std::vector<cplx> out(rows_, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out[i] += at(i, j) * v[j];
+  return out;
+}
+
+Matrix Matrix::adjoint() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      out.at(j, i) = std::conj(at(i, j));
+  return out;
+}
+
+Matrix Matrix::kron(const Matrix& rhs) const {
+  Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const cplx a = at(i, j);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t k = 0; k < rhs.rows_; ++k)
+        for (std::size_t l = 0; l < rhs.cols_; ++l)
+          out.at(i * rhs.rows_ + k, j * rhs.cols_ + l) = a * rhs.at(k, l);
+    }
+  return out;
+}
+
+double Matrix::distance(const Matrix& rhs) const {
+  QFAB_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    sum += std::norm(data_[i] - rhs.data_[i]);
+  return std::sqrt(sum);
+}
+
+bool Matrix::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  return (adjoint() * *this).distance(identity(rows_)) < tol;
+}
+
+bool Matrix::approx_equal(const Matrix& rhs, double tol) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  return distance(rhs) < tol;
+}
+
+bool Matrix::equal_up_to_phase(const Matrix& rhs, double tol) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  // Find the largest-magnitude entry of rhs and use it to fix the phase.
+  std::size_t best_i = 0, best_j = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j)
+      if (std::abs(rhs.at(i, j)) > best) {
+        best = std::abs(rhs.at(i, j));
+        best_i = i;
+        best_j = j;
+      }
+  if (best < tol) return distance(rhs) < tol;
+  const cplx phase = at(best_i, best_j) / rhs.at(best_i, best_j);
+  if (std::abs(std::abs(phase) - 1.0) > tol) return false;
+  return distance(rhs * phase) < tol;
+}
+
+Matrix embed_gate(const Matrix& u, const std::vector<int>& targets,
+                  int num_qubits) {
+  const std::size_t gate_dim = u.rows();
+  QFAB_CHECK(u.cols() == gate_dim);
+  const int k = ceil_log2(gate_dim);
+  QFAB_CHECK(pow2(k) == gate_dim);
+  QFAB_CHECK(static_cast<int>(targets.size()) == k);
+  for (int t : targets) QFAB_CHECK(t >= 0 && t < num_qubits);
+
+  const u64 dim = pow2(num_qubits);
+  Matrix out(dim, dim);
+  for (u64 col = 0; col < dim; ++col) {
+    // Extract the gate-local column index from the target bits of col.
+    u64 gcol = 0;
+    for (int b = 0; b < k; ++b)
+      gcol |= static_cast<u64>(get_bit(col, targets[b])) << b;
+    // Bits of col outside the targets are untouched.
+    for (u64 grow = 0; grow < gate_dim; ++grow) {
+      const cplx a = u.at(grow, gcol);
+      if (a == cplx{0.0, 0.0}) continue;
+      u64 row = col;
+      for (int b = 0; b < k; ++b) {
+        row = clear_bit(row, targets[b]);
+        if (get_bit(grow, b)) row = set_bit(row, targets[b]);
+      }
+      out.at(row, col) += a;
+    }
+  }
+  return out;
+}
+
+}  // namespace qfab

@@ -1,0 +1,85 @@
+// Dense complex matrices.
+//
+// This is deliberately a *small*-matrix library: its job is to provide exact
+// reference semantics for gates and few-qubit circuits (tests compare the
+// fast state-vector kernels against dense matrix application). It is not on
+// any performance-critical path.
+#pragma once
+
+#include <complex>
+#include <initializer_list>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace qfab {
+
+using cplx = std::complex<double>;
+
+/// Row-major dense complex matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+  /// Square matrix from a nested initializer list.
+  Matrix(std::initializer_list<std::initializer_list<cplx>> init);
+
+  static Matrix identity(std::size_t n);
+  /// All-zero square matrix.
+  static Matrix zero(std::size_t n) { return Matrix(n, n); }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& at(std::size_t r, std::size_t c) {
+    QFAB_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const cplx& at(std::size_t r, std::size_t c) const {
+    QFAB_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator*(cplx scalar) const;
+
+  /// Matrix-vector product.
+  std::vector<cplx> apply(const std::vector<cplx>& v) const;
+
+  /// Conjugate transpose.
+  Matrix adjoint() const;
+
+  /// Kronecker product: this ⊗ rhs (this owns the high-order bits).
+  Matrix kron(const Matrix& rhs) const;
+
+  /// Frobenius-norm distance to rhs.
+  double distance(const Matrix& rhs) const;
+
+  /// True when ‖A†A − I‖_F < tol.
+  bool is_unitary(double tol = 1e-10) const;
+
+  /// True when ‖A − B‖_F < tol.
+  bool approx_equal(const Matrix& rhs, double tol = 1e-10) const;
+
+  /// True when A == e^{iθ} B for some θ (global-phase equivalence):
+  /// the test used to validate transpiled circuits.
+  bool equal_up_to_phase(const Matrix& rhs, double tol = 1e-9) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Embed the k-qubit gate `u` acting on `targets` (little-endian qubit
+/// indices, targets[0] = least-significant gate qubit) into an n-qubit
+/// unitary. Reference implementation used by tests and circuit->unitary.
+Matrix embed_gate(const Matrix& u, const std::vector<int>& targets,
+                  int num_qubits);
+
+}  // namespace qfab

@@ -1,0 +1,225 @@
+#include "noise/densitymatrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qfab {
+
+namespace {
+constexpr int kMaxQubits = 12;
+
+Matrix conj_matrix(const Matrix& u) {
+  Matrix out(u.rows(), u.cols());
+  for (std::size_t r = 0; r < u.rows(); ++r)
+    for (std::size_t c = 0; c < u.cols(); ++c)
+      out.at(r, c) = std::conj(u.at(r, c));
+  return out;
+}
+
+Matrix pauli_matrix(Pauli p) {
+  switch (p) {
+    case Pauli::kX: return Matrix{{0.0, 1.0}, {1.0, 0.0}};
+    case Pauli::kY: return Matrix{{0.0, cplx{0.0, -1.0}},
+                                  {cplx{0.0, 1.0}, 0.0}};
+    case Pauli::kZ: return Matrix{{1.0, 0.0}, {0.0, -1.0}};
+    case Pauli::kI: break;
+  }
+  return Matrix::identity(2);
+}
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(int num_qubits) : num_qubits_(num_qubits) {
+  QFAB_CHECK_MSG(num_qubits >= 1 && num_qubits <= kMaxQubits,
+                 "density matrix limited to " << kMaxQubits << " qubits");
+  rho_.assign(pow2(2 * num_qubits), cplx{0.0, 0.0});
+  rho_[0] = 1.0;
+}
+
+DensityMatrix DensityMatrix::from_statevector(const StateVector& sv) {
+  DensityMatrix dm(sv.num_qubits());
+  dm.rho_[0] = 0.0;  // clear the constructor's |0><0|
+  const auto& amps = sv.amplitudes();
+  const u64 d = dm.dim();
+  for (u64 c = 0; c < d; ++c) {
+    const cplx col = std::conj(amps[c]);
+    if (col == cplx{0.0, 0.0}) continue;
+    for (u64 r = 0; r < d; ++r) dm.rho_[r | (c << dm.num_qubits_)] =
+        amps[r] * col;
+  }
+  return dm;
+}
+
+cplx DensityMatrix::at(u64 row, u64 col) const {
+  QFAB_CHECK(row < dim() && col < dim());
+  return rho_[row | (col << num_qubits_)];
+}
+
+void DensityMatrix::apply_buffer_matrix(const Matrix& u,
+                                        const std::vector<int>& targets) {
+  const int k = ceil_log2(u.rows());
+  QFAB_CHECK(pow2(k) == u.rows() && u.rows() == u.cols());
+  const u64 gd = u.rows();
+  std::vector<cplx> scratch(gd);
+  std::vector<u64> idx(gd);
+  std::vector<int> sorted = targets;
+  std::sort(sorted.begin(), sorted.end());
+  const u64 outer = rho_.size() >> k;
+  for (u64 g = 0; g < outer; ++g) {
+    u64 base = g;
+    for (int b : sorted) base = insert_zero_bit(base, b);
+    for (u64 loc = 0; loc < gd; ++loc) {
+      u64 i = base;
+      for (int b = 0; b < k; ++b)
+        if (loc & (u64{1} << b)) i |= u64{1} << targets[static_cast<std::size_t>(b)];
+      idx[loc] = i;
+      scratch[loc] = rho_[i];
+    }
+    for (u64 r = 0; r < gd; ++r) {
+      cplx acc{0.0, 0.0};
+      for (u64 c = 0; c < gd; ++c) acc += u.at(r, c) * scratch[c];
+      rho_[idx[r]] = acc;
+    }
+  }
+}
+
+void DensityMatrix::apply_gate(const Gate& g) {
+  const Matrix m = g.matrix();
+  std::vector<int> row_targets, col_targets;
+  for (int i = 0; i < g.arity(); ++i) {
+    QFAB_CHECK(g.qubits[i] >= 0 && g.qubits[i] < num_qubits_);
+    row_targets.push_back(g.qubits[i]);
+    col_targets.push_back(g.qubits[i] + num_qubits_);
+  }
+  // vec(U ρ U†) = (conj(U) ⊗ U) vec(ρ) with the row index in the low bits.
+  apply_buffer_matrix(m, row_targets);
+  apply_buffer_matrix(conj_matrix(m), col_targets);
+}
+
+void DensityMatrix::apply_circuit(const QuantumCircuit& qc) {
+  QFAB_CHECK(qc.num_qubits() == num_qubits_);
+  for (const Gate& g : qc.gates()) apply_gate(g);
+  // Global phase cancels in ρ.
+}
+
+void DensityMatrix::conjugate_pauli(int q, Pauli p) {
+  if (p == Pauli::kI) return;
+  const Matrix m = pauli_matrix(p);
+  apply_buffer_matrix(m, {q});
+  apply_buffer_matrix(conj_matrix(m), {q + num_qubits_});
+}
+
+void DensityMatrix::apply_pauli_channel(int q, const PauliProbs& probs) {
+  QFAB_CHECK(q >= 0 && q < num_qubits_);
+  const double total = probs.total();
+  QFAB_CHECK(total >= 0.0 && total <= 1.0);
+  if (total == 0.0) return;
+  const std::vector<cplx> original = rho_;
+  std::vector<cplx> acc(rho_.size());
+  for (std::size_t i = 0; i < rho_.size(); ++i)
+    acc[i] = (1.0 - total) * original[i];
+  const std::pair<Pauli, double> terms[] = {
+      {Pauli::kX, probs.px}, {Pauli::kY, probs.py}, {Pauli::kZ, probs.pz}};
+  for (const auto& [pauli, w] : terms) {
+    if (w <= 0.0) continue;
+    rho_ = original;
+    conjugate_pauli(q, pauli);
+    for (std::size_t i = 0; i < rho_.size(); ++i) acc[i] += w * rho_[i];
+  }
+  rho_ = std::move(acc);
+}
+
+void DensityMatrix::apply_depolarizing1(int q, double p) {
+  QFAB_CHECK(p >= 0.0 && p <= 1.0);
+  apply_pauli_channel(q, PauliProbs{p / 4, p / 4, p / 4});
+}
+
+void DensityMatrix::apply_depolarizing2(int q0, int q1, double p) {
+  QFAB_CHECK(p >= 0.0 && p <= 1.0);
+  QFAB_CHECK(q0 != q1);
+  if (p == 0.0) return;
+  const double w = p / 16.0;
+  const std::vector<cplx> original = rho_;
+  std::vector<cplx> acc(rho_.size());
+  for (std::size_t i = 0; i < rho_.size(); ++i)
+    acc[i] = (1.0 - 15.0 * w) * original[i];
+  for (int c0 = 0; c0 < 4; ++c0)
+    for (int c1 = 0; c1 < 4; ++c1) {
+      if (c0 == 0 && c1 == 0) continue;
+      rho_ = original;
+      conjugate_pauli(q0, static_cast<Pauli>(c0));
+      conjugate_pauli(q1, static_cast<Pauli>(c1));
+      for (std::size_t i = 0; i < rho_.size(); ++i) acc[i] += w * rho_[i];
+    }
+  rho_ = std::move(acc);
+}
+
+void DensityMatrix::apply_noisy_circuit(const QuantumCircuit& qc,
+                                        const NoiseModel& noise) {
+  QFAB_CHECK(qc.num_qubits() == num_qubits_);
+  for (const Gate& g : qc.gates()) {
+    apply_gate(g);
+    const double p = noise.depolarizing_param(g);
+    if (p > 0.0) {
+      if (g.arity() == 1) apply_depolarizing1(g.qubits[0], p);
+      else apply_depolarizing2(g.qubits[0], g.qubits[1], p);
+    }
+    if (noise.thermal_enabled()) {
+      const PauliProbs t = noise.thermal_probs(g);
+      if (t.total() > 0.0)
+        for (int i = 0; i < g.arity() && i < 2; ++i)
+          apply_pauli_channel(g.qubits[i], t);
+    }
+  }
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> out(dim());
+  for (u64 i = 0; i < dim(); ++i)
+    out[i] = rho_[i | (i << num_qubits_)].real();
+  return out;
+}
+
+std::vector<double> DensityMatrix::marginal_probabilities(
+    const std::vector<int>& qubits) const {
+  QFAB_CHECK(!qubits.empty());
+  for (int q : qubits) QFAB_CHECK(q >= 0 && q < num_qubits_);
+  std::vector<double> out(pow2(static_cast<int>(qubits.size())), 0.0);
+  const std::vector<double> diag = probabilities();
+  for (u64 i = 0; i < diag.size(); ++i) {
+    u64 key = 0;
+    for (std::size_t b = 0; b < qubits.size(); ++b)
+      key |= static_cast<u64>(get_bit(i, qubits[b])) << b;
+    out[key] += diag[i];
+  }
+  return out;
+}
+
+double DensityMatrix::trace() const {
+  double t = 0.0;
+  for (u64 i = 0; i < dim(); ++i)
+    t += rho_[i | (i << num_qubits_)].real();
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  // tr(ρ²) = Σ_{r,c} ρ_{rc} ρ_{cr} = Σ |ρ_{rc}|² for Hermitian ρ.
+  double p = 0.0;
+  for (const cplx& v : rho_) p += std::norm(v);
+  return p;
+}
+
+double DensityMatrix::fidelity(const StateVector& psi) const {
+  QFAB_CHECK(psi.num_qubits() == num_qubits_);
+  const auto& amps = psi.amplitudes();
+  cplx acc{0.0, 0.0};
+  const u64 d = dim();
+  for (u64 r = 0; r < d; ++r) {
+    if (amps[r] == cplx{0.0, 0.0}) continue;
+    for (u64 c = 0; c < d; ++c)
+      acc += std::conj(amps[r]) * rho_[r | (c << num_qubits_)] * amps[c];
+  }
+  return acc.real();
+}
+
+}  // namespace qfab

@@ -1,0 +1,78 @@
+// Exact density-matrix simulation.
+//
+// Small-n companion to the state-vector engine: evolves ρ -> U ρ U† and
+// applies the depolarizing / thermal channels *exactly* (no sampling).
+// This is the ground truth the Pauli-trajectory machinery is validated
+// against (tests/test_densitymatrix.cpp shows the stratified estimator
+// converges to the exact channel marginal), and a practical exact-channel
+// backend for circuits up to ~10 qubits.
+//
+// Representation: vec(ρ) with the row index in the low n "qubits" and the
+// column index in the high n, so U ρ U† is "apply U on row qubits, conj(U)
+// on column qubits" — the state-vector kernels' access pattern reused on a
+// 2^{2n} buffer.
+#pragma once
+
+#include <vector>
+
+#include "noise/noise_model.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+
+class DensityMatrix {
+ public:
+  /// |0...0><0...0| on n qubits. n <= 12 (memory guard: 4^n entries).
+  explicit DensityMatrix(int num_qubits);
+
+  /// Pure state ρ = |ψ><ψ|.
+  static DensityMatrix from_statevector(const StateVector& sv);
+
+  int num_qubits() const { return num_qubits_; }
+  u64 dim() const { return pow2(num_qubits_); }
+
+  /// ρ(r, c).
+  cplx at(u64 row, u64 col) const;
+
+  // -- unitary evolution --
+  void apply_gate(const Gate& g);
+  void apply_circuit(const QuantumCircuit& qc);
+
+  // -- exact channels --
+  /// Depolarizing with parameter p on one qubit:
+  /// ρ -> (1 - 3p/4) ρ + (p/4) Σ_{P∈{X,Y,Z}} P ρ P.
+  void apply_depolarizing1(int q, double p);
+  /// Two-qubit depolarizing: (1 - 15p/16) ρ + (p/16) Σ_{15 Paulis} P ρ P.
+  void apply_depolarizing2(int q0, int q1, double p);
+  /// Pauli mixture channel (e.g. the thermal PTA) on one qubit.
+  void apply_pauli_channel(int q, const PauliProbs& probs);
+
+  /// Gate + per-gate noise, exactly as ErrorLocations attaches it
+  /// (depolarizing by arity, thermal PTA per gate qubit).
+  void apply_noisy_circuit(const QuantumCircuit& qc, const NoiseModel& noise);
+
+  // -- measurement --
+  /// Diagonal of ρ.
+  std::vector<double> probabilities() const;
+  /// Output distribution of a qubit subset.
+  std::vector<double> marginal_probabilities(
+      const std::vector<int>& qubits) const;
+
+  double trace() const;
+  /// tr(ρ²) — 1 for pure states, 1/2^n for the maximally mixed state.
+  double purity() const;
+  /// Fidelity <ψ|ρ|ψ> against a pure state.
+  double fidelity(const StateVector& psi) const;
+
+ private:
+  /// Apply a k-qubit matrix on arbitrary buffer "qubits" (row or column
+  /// side) of vec(ρ).
+  void apply_buffer_matrix(const Matrix& u, const std::vector<int>& targets);
+  /// One Pauli conjugation term P ρ P (pauli on a single qubit).
+  void conjugate_pauli(int q, Pauli p);
+
+  int num_qubits_ = 0;
+  std::vector<cplx> rho_;  // vec(ρ), row index low
+};
+
+}  // namespace qfab

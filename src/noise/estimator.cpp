@@ -1,0 +1,76 @@
+#include "noise/estimator.h"
+
+namespace qfab {
+
+std::vector<double> estimate_channel_marginal(
+    const CleanRun& clean, const ErrorLocations& errors,
+    const std::vector<int>& output_qubits, const EstimatorOptions& options,
+    Pcg64& rng) {
+  const std::vector<double> ideal = clean.ideal_marginal(output_qubits);
+  const double w0 = errors.clean_probability();
+  if (errors.noisy_gate_count() == 0 || w0 >= 1.0) return ideal;
+  QFAB_CHECK(options.error_trajectories >= 1);
+
+  std::vector<double> err_mean(ideal.size(), 0.0);
+  for (int t = 0; t < options.error_trajectories; ++t) {
+    const std::vector<ErrorEvent> events = errors.sample_at_least_one(rng);
+    const StateVector sv = run_trajectory(clean, events);
+    const std::vector<double> marg = sv.marginal_probabilities(output_qubits);
+    for (std::size_t i = 0; i < err_mean.size(); ++i) err_mean[i] += marg[i];
+  }
+  const double scale =
+      (1.0 - w0) / static_cast<double>(options.error_trajectories);
+  std::vector<double> out(ideal.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = w0 * ideal[i] + scale * err_mean[i];
+  return out;
+}
+
+std::vector<std::uint64_t> sample_shot_counts(
+    const std::vector<double>& distribution, std::uint64_t shots,
+    Pcg64& rng) {
+  return multinomial(rng, shots, distribution);
+}
+
+std::vector<std::uint64_t> sample_counts_per_shot(
+    const CleanRun& clean, const ErrorLocations& errors,
+    const std::vector<int>& output_qubits, std::uint64_t shots, Pcg64& rng,
+    const ReadoutError& readout) {
+  const std::vector<double> ideal = clean.ideal_marginal(output_qubits);
+  const int bits = static_cast<int>(output_qubits.size());
+  std::vector<std::uint64_t> counts(ideal.size(), 0);
+
+  // Draw one outcome from a cumulative scan of `dist`.
+  auto draw = [&rng](const std::vector<double>& dist) {
+    const double u = rng.uniform();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      acc += dist[i];
+      if (u < acc) return i;
+    }
+    return dist.size() - 1;
+  };
+  // Flip each measured bit through the confusion matrix.
+  auto misread = [&rng, &readout, bits](std::size_t v) {
+    if (!readout.enabled()) return v;
+    for (int b = 0; b < bits; ++b) {
+      const bool one = (v >> b) & 1u;
+      const double flip = one ? readout.p10 : readout.p01;
+      if (flip > 0.0 && rng.bernoulli(flip)) v ^= std::size_t{1} << b;
+    }
+    return v;
+  };
+
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    const std::vector<ErrorEvent> events = errors.sample(rng);
+    if (events.empty()) {
+      ++counts[misread(draw(ideal))];
+      continue;
+    }
+    const StateVector sv = run_trajectory(clean, events);
+    ++counts[misread(draw(sv.marginal_probabilities(output_qubits)))];
+  }
+  return counts;
+}
+
+}  // namespace qfab

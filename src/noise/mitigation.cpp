@@ -1,0 +1,75 @@
+#include "noise/mitigation.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace qfab {
+
+std::vector<double> invert_readout(const std::vector<double>& dist,
+                                   const ReadoutError& err) {
+  const int k = ceil_log2(dist.size());
+  QFAB_CHECK(pow2(k) == dist.size());
+  const double det = 1.0 - err.p01 - err.p10;
+  QFAB_CHECK_MSG(det > 1e-12, "confusion matrix is not invertible");
+  // Inverse of [[1-p01, p10], [p01, 1-p10]] is
+  // (1/det) [[1-p10, -p10], [-p01, 1-p01]].
+  const double a = (1.0 - err.p10) / det, b = -err.p10 / det;
+  const double c = -err.p01 / det, d = (1.0 - err.p01) / det;
+
+  std::vector<double> out = dist;
+  for (int bit = 0; bit < k; ++bit) {
+    const u64 bmask = u64{1} << bit;
+    for (u64 base = 0; base < out.size(); base += 2 * bmask)
+      for (u64 off = 0; off < bmask; ++off) {
+        const u64 i0 = base + off;
+        const u64 i1 = i0 | bmask;
+        const double d0 = out[i0], d1 = out[i1];
+        out[i0] = a * d0 + b * d1;
+        out[i1] = c * d0 + d * d1;
+      }
+  }
+  return clip_to_probabilities(std::move(out));
+}
+
+std::vector<double> richardson_weights(const std::vector<double>& scales) {
+  QFAB_CHECK(!scales.empty());
+  std::vector<double> w(scales.size(), 1.0);
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    for (std::size_t j = 0; j < scales.size(); ++j) {
+      if (i == j) continue;
+      const double denom = scales[j] - scales[i];
+      QFAB_CHECK_MSG(std::abs(denom) > 1e-12, "scales must be distinct");
+      // Lagrange basis evaluated at 0: Π_j (0 - s_j) / (s_i - s_j).
+      w[i] *= scales[j] / denom;
+    }
+  }
+  return w;
+}
+
+std::vector<double> richardson_extrapolate(
+    const std::vector<std::vector<double>>& dists,
+    const std::vector<double>& scales) {
+  QFAB_CHECK(dists.size() == scales.size() && !dists.empty());
+  const std::vector<double> w = richardson_weights(scales);
+  std::vector<double> out(dists[0].size(), 0.0);
+  for (std::size_t s = 0; s < dists.size(); ++s) {
+    QFAB_CHECK(dists[s].size() == out.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i] += w[s] * dists[s][i];
+  }
+  return clip_to_probabilities(std::move(out));
+}
+
+std::vector<double> clip_to_probabilities(std::vector<double> dist) {
+  double total = 0.0;
+  for (double& p : dist) {
+    if (p < 0.0) p = 0.0;
+    total += p;
+  }
+  QFAB_CHECK_MSG(total > 0.0, "distribution vanished after clipping");
+  for (double& p : dist) p /= total;
+  return dist;
+}
+
+}  // namespace qfab

@@ -1,0 +1,40 @@
+// Error mitigation — "the impact of error mitigation ... deferred to a
+// future work" (paper Sec. I). Two standard techniques that operate purely
+// on measured distributions, so they compose with any backend here:
+//
+//  * Readout-error inversion: apply the inverse of the per-qubit confusion
+//    matrix (exact tensor inverse), then clip negatives / renormalize —
+//    the matrix-free analogue of Qiskit's measurement calibration.
+//
+//  * Zero-noise (Richardson) extrapolation: evaluate the distribution at
+//    several noise-scale factors c >= 1 and extrapolate each outcome's
+//    probability to c = 0 with the Lagrange polynomial through the
+//    sampled scales, then clip / renormalize. Our noise models scale
+//    exactly (multiply p1q/p2q), so no pulse-stretching surrogate needed.
+#pragma once
+
+#include <vector>
+
+#include "noise/readout.h"
+
+namespace qfab {
+
+/// Invert the (uniform per-bit) readout confusion on a distribution.
+/// Requires p01 + p10 < 1 (an invertible confusion matrix).
+std::vector<double> invert_readout(const std::vector<double>& dist,
+                                   const ReadoutError& err);
+
+/// Richardson-extrapolate distributions measured at noise scales
+/// `scales` (all distinct, typically {1, 2, 3}) to scale 0, outcome-wise.
+/// Returns a clipped, renormalized distribution.
+std::vector<double> richardson_extrapolate(
+    const std::vector<std::vector<double>>& dists,
+    const std::vector<double>& scales);
+
+/// Lagrange weights w_i with Σ w_i f(scale_i) = extrapolation of f to 0.
+std::vector<double> richardson_weights(const std::vector<double>& scales);
+
+/// Clip negatives to zero and renormalize to a probability vector.
+std::vector<double> clip_to_probabilities(std::vector<double> dist);
+
+}  // namespace qfab

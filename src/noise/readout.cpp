@@ -1,0 +1,42 @@
+#include "noise/readout.h"
+
+#include "common/bits.h"
+
+namespace qfab {
+
+namespace {
+
+void apply_bit_confusion(std::vector<double>& dist, int bit,
+                         const ReadoutError& err) {
+  QFAB_CHECK(err.p01 >= 0.0 && err.p01 <= 1.0);
+  QFAB_CHECK(err.p10 >= 0.0 && err.p10 <= 1.0);
+  if (!err.enabled()) return;
+  const u64 b = u64{1} << bit;
+  const u64 n = dist.size();
+  for (u64 base = 0; base < n; base += 2 * b)
+    for (u64 off = 0; off < b; ++off) {
+      const u64 i0 = base + off;
+      const u64 i1 = i0 | b;
+      const double d0 = dist[i0], d1 = dist[i1];
+      dist[i0] = (1.0 - err.p01) * d0 + err.p10 * d1;
+      dist[i1] = err.p01 * d0 + (1.0 - err.p10) * d1;
+    }
+}
+
+}  // namespace
+
+void apply_readout_error(std::vector<double>& dist, const ReadoutError& err) {
+  const int k = ceil_log2(dist.size());
+  QFAB_CHECK(pow2(k) == dist.size());
+  for (int bit = 0; bit < k; ++bit) apply_bit_confusion(dist, bit, err);
+}
+
+void apply_readout_error(std::vector<double>& dist,
+                         const std::vector<ReadoutError>& errs) {
+  const int k = ceil_log2(dist.size());
+  QFAB_CHECK(pow2(k) == dist.size());
+  QFAB_CHECK(static_cast<int>(errs.size()) == k);
+  for (int bit = 0; bit < k; ++bit) apply_bit_confusion(dist, bit, errs[bit]);
+}
+
+}  // namespace qfab

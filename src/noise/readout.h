@@ -1,0 +1,29 @@
+// Readout (measurement) error — one of the noise sources the paper
+// explicitly defers to future work (Sec. I). Modeled as an independent
+// per-qubit confusion matrix applied to the output distribution:
+//   P(read 1 | actual 0) = p01,  P(read 0 | actual 1) = p10.
+// Because shots are i.i.d., applying the tensor-product confusion to the
+// channel marginal before multinomial sampling is exactly equivalent to
+// flipping each shot's bits independently.
+#pragma once
+
+#include <vector>
+
+namespace qfab {
+
+struct ReadoutError {
+  double p01 = 0.0;  // P(measured 1 | prepared 0)
+  double p10 = 0.0;  // P(measured 0 | prepared 1)
+
+  bool enabled() const { return p01 > 0.0 || p10 > 0.0; }
+};
+
+/// Apply the same confusion matrix to every bit of a distribution over
+/// k-bit outcomes (dist.size() must be a power of two). In place, O(k 2^k).
+void apply_readout_error(std::vector<double>& dist, const ReadoutError& err);
+
+/// Heterogeneous per-qubit version; errs.size() must equal log2(dist size).
+void apply_readout_error(std::vector<double>& dist,
+                         const std::vector<ReadoutError>& errs);
+
+}  // namespace qfab

@@ -1,0 +1,29 @@
+#include "noise/thermal.h"
+
+#include <cmath>
+
+namespace qfab {
+
+PauliProbs thermal_pauli_twirl(double t1, double t2, double duration) {
+  QFAB_CHECK(duration >= 0.0);
+  PauliProbs out;
+  if (duration == 0.0) return out;
+  const double inv_t1 = t1 > 0.0 ? 1.0 / t1 : 0.0;
+  const double inv_t2 = t2 > 0.0 ? 1.0 / t2 : 0.0;
+  QFAB_CHECK_MSG(inv_t2 + 1e-15 >= inv_t1 / 2.0,
+                 "thermal relaxation requires T2 <= 2*T1");
+  const double gamma = inv_t1 > 0.0 ? 1.0 - std::exp(-duration * inv_t1) : 0.0;
+  const double inv_tphi = inv_t2 - inv_t1 / 2.0;
+  const double dephase =
+      inv_tphi > 0.0 ? std::exp(-duration * inv_tphi) : 1.0;
+
+  out.px = gamma / 4.0;
+  out.py = gamma / 4.0;
+  out.pz = 0.5 * (1.0 - gamma / 2.0 - std::sqrt(1.0 - gamma) * dephase);
+  QFAB_CHECK(out.pz >= -1e-12);
+  if (out.pz < 0.0) out.pz = 0.0;
+  QFAB_CHECK(out.total() <= 1.0);
+  return out;
+}
+
+}  // namespace qfab

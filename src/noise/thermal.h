@@ -1,0 +1,33 @@
+// Thermal relaxation (T1/T2) as a Pauli channel — the other noise source
+// the paper defers to future work.
+//
+// The exact thermal-relaxation channel (amplitude damping γ = 1 - e^{-t/T1}
+// composed with pure dephasing 1/Tφ = 1/T2 - 1/(2 T1), zero excited-state
+// population) is not a Pauli channel, so it cannot be injected by our
+// Pauli-trajectory machinery directly. We use its *Pauli-twirled
+// approximation* (PTA), the standard device-modeling surrogate:
+//
+//   p_x = p_y = γ / 4,
+//   p_z  = (1 - γ/2 - sqrt(1-γ) · e^{-t/Tφ}) / 2.
+//
+// Limits: γ→0 gives the pure-dephasing channel p_z = (1 - e^{-t/Tφ})/2;
+// Tφ→∞ gives the twirled amplitude damper. Requires T2 <= 2 T1.
+#pragma once
+
+#include "common/check.h"
+
+namespace qfab {
+
+struct PauliProbs {
+  double px = 0.0;
+  double py = 0.0;
+  double pz = 0.0;
+
+  double total() const { return px + py + pz; }
+};
+
+/// Pauli-twirled thermal relaxation for a gate of length `duration`
+/// (same time units as t1/t2). t1/t2 <= 0 disables the respective decay.
+PauliProbs thermal_pauli_twirl(double t1, double t2, double duration);
+
+}  // namespace qfab

@@ -1,0 +1,165 @@
+#include "noise/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qfab {
+
+CleanRun::CleanRun(const QuantumCircuit& circuit, StateVector initial,
+                   std::size_t checkpoint_interval)
+    : circuit_(circuit), interval_(checkpoint_interval) {
+  QFAB_CHECK(circuit_.num_qubits() == initial.num_qubits());
+  QFAB_CHECK(interval_ >= 1);
+  const std::size_t total = circuit_.gates().size();
+  checkpoints_.reserve(total / interval_ + 2);
+  checkpoints_.push_back(initial);  // after 0 gates
+  StateVector sv = std::move(initial);
+  std::size_t applied = 0;
+  while (applied < total) {
+    const std::size_t next = std::min(applied + interval_, total);
+    sv.apply_circuit_range(circuit_, applied, next);
+    applied = next;
+    checkpoints_.push_back(sv);
+    last_checkpoint_gates_ = applied;
+  }
+  // When total is a multiple of interval the final state is the last
+  // checkpoint; otherwise the loop above already pushed it.
+}
+
+std::vector<double> CleanRun::ideal_marginal(
+    const std::vector<int>& qubits) const {
+  return final_state().marginal_probabilities(qubits);
+}
+
+StateVector CleanRun::state_at(std::size_t gate_count) const {
+  QFAB_CHECK(gate_count <= circuit_.gates().size());
+  const std::size_t k = std::min(gate_count / interval_,
+                                 checkpoints_.size() - 1);
+  const std::size_t base_gates = std::min(k * interval_, gate_count);
+  StateVector sv = checkpoints_[k];
+  sv.apply_circuit_range(circuit_, base_gates, gate_count);
+  return sv;
+}
+
+ErrorLocations::ErrorLocations(const QuantumCircuit& circuit,
+                               const NoiseModel& noise) {
+  const auto& gates = circuit.gates();
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const double q = noise.error_event_prob(gates[i]);
+    QFAB_CHECK(q >= 0.0 && q < 1.0);
+    if (q > 0.0) {
+      const auto kind = gates[i].arity() == 2 ? Location::Kind::kDepol2q
+                                              : Location::Kind::kDepol1q;
+      locations_.push_back(Location{i, q, kind, 0, 0.0, 0.0, 0.0});
+    }
+    if (noise.thermal_enabled()) {
+      const PauliProbs t = noise.thermal_probs(gates[i]);
+      if (t.total() > 0.0)
+        for (int slot = 0; slot < gates[i].arity() && slot < 2; ++slot)
+          locations_.push_back(Location{i, t.total(),
+                                        Location::Kind::kWeighted, slot,
+                                        t.px, t.py, t.pz});
+    }
+  }
+  suffix_clean_.assign(locations_.size() + 1, 1.0);
+  for (std::size_t i = locations_.size(); i-- > 0;)
+    suffix_clean_[i] = suffix_clean_[i + 1] * (1.0 - locations_[i].prob);
+  clean_prob_ = suffix_clean_.empty() ? 1.0 : suffix_clean_[0];
+  for (const Location& loc : locations_) expected_events_ += loc.prob;
+}
+
+ErrorEvent ErrorLocations::make_event(std::size_t loc, Pcg64& rng) const {
+  const Location& l = locations_[loc];
+  ErrorEvent ev;
+  ev.gate_index = l.gate_index;
+  switch (l.kind) {
+    case Location::Kind::kDepol2q: {
+      // Uniform over the 15 non-identity Pauli pairs.
+      const auto code = static_cast<std::uint32_t>(rng.uniform_int(15) + 1);
+      ev.pauli0 = static_cast<Pauli>(code & 3u);
+      ev.pauli1 = static_cast<Pauli>(code >> 2);
+      break;
+    }
+    case Location::Kind::kDepol1q:
+      ev.pauli0 = static_cast<Pauli>(rng.uniform_int(3) + 1);
+      break;
+    case Location::Kind::kWeighted: {
+      const double u = rng.uniform() * (l.wx + l.wy + l.wz);
+      Pauli p = Pauli::kZ;
+      if (u < l.wx) p = Pauli::kX;
+      else if (u < l.wx + l.wy) p = Pauli::kY;
+      if (l.slot == 0) ev.pauli0 = p;
+      else ev.pauli1 = p;
+      break;
+    }
+  }
+  return ev;
+}
+
+std::vector<ErrorEvent> ErrorLocations::sample(Pcg64& rng) const {
+  std::vector<ErrorEvent> events;
+  for (std::size_t i = 0; i < locations_.size(); ++i)
+    if (rng.bernoulli(locations_[i].prob)) events.push_back(make_event(i, rng));
+  return events;
+}
+
+std::vector<ErrorEvent> ErrorLocations::sample_at_least_one(
+    Pcg64& rng) const {
+  QFAB_CHECK_MSG(!locations_.empty() && clean_prob_ < 1.0,
+                 "cannot condition on an error with no noisy gates");
+  std::vector<ErrorEvent> events;
+  // Sequential conditional Bernoulli: while no event has occurred yet,
+  // location i fires with probability q_i / (1 - S_i) where S_i is the
+  // probability that all of [i, end) stay clean. Once one event exists the
+  // remaining locations are unconditioned.
+  bool have_event = false;
+  for (std::size_t i = 0; i < locations_.size(); ++i) {
+    double p = locations_[i].prob;
+    if (!have_event) {
+      const double denom = 1.0 - suffix_clean_[i];
+      QFAB_CHECK(denom > 0.0);
+      p = p / denom;
+      // The last location, if still unconditioned, must fire (p -> 1).
+      if (p > 1.0) p = 1.0;
+    }
+    if (rng.bernoulli(p)) {
+      events.push_back(make_event(i, rng));
+      have_event = true;
+    }
+  }
+  QFAB_CHECK(!events.empty());
+  return events;
+}
+
+StateVector run_trajectory(const CleanRun& clean,
+                           const std::vector<ErrorEvent>& events) {
+  const QuantumCircuit& qc = clean.circuit();
+  const std::size_t total = qc.gates().size();
+  if (events.empty()) return clean.final_state();
+  QFAB_CHECK(std::is_sorted(events.begin(), events.end(),
+                            [](const ErrorEvent& a, const ErrorEvent& b) {
+                              return a.gate_index < b.gate_index;
+                            }));
+  // Resume the ideal run just after the first faulty gate.
+  StateVector sv = clean.state_at(events.front().gate_index + 1);
+  std::size_t applied = events.front().gate_index + 1;
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const ErrorEvent& ev = events[e];
+    QFAB_CHECK(ev.gate_index < total);
+    // Replay ideal gates up to and including the faulty one.
+    if (ev.gate_index + 1 > applied) {
+      sv.apply_circuit_range(qc, applied, ev.gate_index + 1);
+      applied = ev.gate_index + 1;
+    }
+    const Gate& g = qc.gates()[ev.gate_index];
+    if (ev.pauli0 != Pauli::kI) sv.apply_pauli(ev.pauli0, g.qubits[0]);
+    if (ev.pauli1 != Pauli::kI) {
+      QFAB_CHECK(g.arity() >= 2);
+      sv.apply_pauli(ev.pauli1, g.qubits[1]);
+    }
+  }
+  sv.apply_circuit_range(qc, applied, total);
+  return sv;
+}
+
+}  // namespace qfab

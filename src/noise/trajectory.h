@@ -1,0 +1,98 @@
+// Pauli-trajectory machinery.
+//
+// A *trajectory* is one stochastic unraveling of the depolarizing channel:
+// the ideal circuit with a sampled set of Pauli insertions (each directly
+// after its gate, matching Qiskit Aer's gate-error composition). Averaging
+// |ψ|² over trajectories reproduces the channel's output distribution.
+//
+// CleanRun caches the ideal evolution with periodic state checkpoints so a
+// trajectory only replays gates from its first error onward — on the
+// paper's circuits that halves the per-trajectory cost on average.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "noise/noise_model.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+
+/// One sampled Pauli insertion. For 1q gates pauli0 hits the gate's qubit;
+/// for CX, pauli0 hits the target (qubits[0]) and pauli1 the control.
+struct ErrorEvent {
+  std::size_t gate_index = 0;  // error applied after this gate
+  Pauli pauli0 = Pauli::kI;
+  Pauli pauli1 = Pauli::kI;
+};
+
+/// The ideal run of a (transpiled) circuit from a fixed initial state,
+/// with checkpoints every `checkpoint_interval` gates.
+class CleanRun {
+ public:
+  CleanRun(const QuantumCircuit& circuit, StateVector initial,
+           std::size_t checkpoint_interval = 64);
+
+  const QuantumCircuit& circuit() const { return circuit_; }
+  /// State after the full circuit (global phase *not* applied — it never
+  /// affects probabilities).
+  const StateVector& final_state() const { return checkpoints_.back(); }
+  /// Ideal output distribution of `qubits`.
+  std::vector<double> ideal_marginal(const std::vector<int>& qubits) const;
+
+  /// State after the first `gate_count` gates (copies the nearest
+  /// checkpoint and replays the remainder).
+  StateVector state_at(std::size_t gate_count) const;
+
+ private:
+  QuantumCircuit circuit_;
+  std::size_t interval_;
+  std::vector<StateVector> checkpoints_;  // checkpoints_[k] = after k*interval
+                                          // gates; last = final state
+  std::size_t last_checkpoint_gates_ = 0;
+};
+
+/// Per-gate error-event probabilities of a circuit under a noise model,
+/// with samplers for trajectory generation.
+class ErrorLocations {
+ public:
+  ErrorLocations(const QuantumCircuit& circuit, const NoiseModel& noise);
+
+  /// Π (1 - q_i): probability a shot sees no error anywhere.
+  double clean_probability() const { return clean_prob_; }
+  /// Number of gates with q_i > 0.
+  std::size_t noisy_gate_count() const { return locations_.size(); }
+  /// Expected number of error events per shot.
+  double expected_events() const { return expected_events_; }
+
+  /// Unconditional sample (may be empty), in gate order.
+  std::vector<ErrorEvent> sample(Pcg64& rng) const;
+  /// Sample conditioned on at least one event (exact sequential method).
+  std::vector<ErrorEvent> sample_at_least_one(Pcg64& rng) const;
+
+ private:
+  ErrorEvent make_event(std::size_t loc, Pcg64& rng) const;
+
+  struct Location {
+    std::size_t gate_index;
+    double prob;
+    enum class Kind {
+      kDepol1q,   // uniform over {X, Y, Z} on the gate's qubit
+      kDepol2q,   // uniform over the 15 non-identity Pauli pairs
+      kWeighted,  // weighted 1q Pauli on gate qubit `slot` (thermal PTA)
+    } kind;
+    int slot;                  // kWeighted: 0 = target, 1 = control
+    double wx, wy, wz;         // kWeighted: relative Pauli weights
+  };
+  std::vector<Location> locations_;
+  std::vector<double> suffix_clean_;  // Π_{j>=i} (1 - q_j)
+  double clean_prob_ = 1.0;
+  double expected_events_ = 0.0;
+};
+
+/// Run one trajectory: replay `clean` from the first event, injecting all
+/// events. Events must be sorted by gate_index. Returns the final state.
+StateVector run_trajectory(const CleanRun& clean,
+                           const std::vector<ErrorEvent>& events);
+
+}  // namespace qfab

@@ -1,0 +1,85 @@
+#include "qfb/adder.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace qfab {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Should the addition-step rotation R_l be kept under `options`?
+bool keep_rotation(int l, const AdderOptions& options) {
+  if (options.add_depth > 0 && l - 1 > options.add_depth) return false;
+  if (options.max_rotation_order > 0 && l > options.max_rotation_order)
+    return false;
+  return true;
+}
+
+}  // namespace
+
+void append_phase_add(QuantumCircuit& qc, const std::vector<int>& x,
+                      const std::vector<int>& y,
+                      const AdderOptions& options) {
+  const int n = static_cast<int>(x.size());
+  const int m = static_cast<int>(y.size());
+  QFAB_CHECK_MSG(n >= 1 && m >= n, "adder requires 1 <= |x| <= |y|");
+  const double sign = options.subtract ? -1.0 : 1.0;
+  // Fourier-basis qubit y_q carries e^{2πi y / 2^q}; adding x shifts it by
+  // 2π x_j 2^{j-1} / 2^q = R_{q-j+1} controlled on x_j, for every j <= q.
+  for (int q = 1; q <= m; ++q) {
+    for (int j = std::min(q, n); j >= 1; --j) {
+      const int l = q - j + 1;
+      if (!keep_rotation(l, options)) continue;
+      qc.cp(x[j - 1], y[q - 1], sign * kTwoPi / std::ldexp(1.0, l));
+    }
+  }
+}
+
+void append_qfa(QuantumCircuit& qc, const std::vector<int>& x,
+                const std::vector<int>& y, const AdderOptions& options) {
+  append_qft(qc, y, options.qft_depth);
+  append_phase_add(qc, x, y, options);
+  append_iqft(qc, y, options.qft_depth);
+}
+
+void append_phase_add_const(QuantumCircuit& qc, const std::vector<int>& y,
+                            std::int64_t value, bool subtract) {
+  const int m = static_cast<int>(y.size());
+  QFAB_CHECK(m >= 1 && m < 63);
+  const double sign = subtract ? -1.0 : 1.0;
+  for (int q = 1; q <= m; ++q) {
+    // Phase shift 2π (value mod 2^q) / 2^q on qubit q.
+    const std::int64_t mod = std::int64_t{1} << q;
+    const std::int64_t rem = ((value % mod) + mod) % mod;
+    if (rem == 0) continue;
+    qc.p(y[q - 1],
+         sign * kTwoPi * static_cast<double>(rem) / static_cast<double>(mod));
+  }
+}
+
+void append_qfa_const(QuantumCircuit& qc, const std::vector<int>& y,
+                      std::int64_t value, const AdderOptions& options) {
+  append_qft(qc, y, options.qft_depth);
+  append_phase_add_const(qc, y, value, options.subtract);
+  append_iqft(qc, y, options.qft_depth);
+}
+
+QuantumCircuit make_qfa(int n, int m, const AdderOptions& options) {
+  QuantumCircuit qc(0);
+  const QubitRange x = qc.add_register("x", n);
+  const QubitRange y = qc.add_register("y", m);
+  append_qfa(qc, range_qubits(x), range_qubits(y), options);
+  return qc;
+}
+
+std::size_t adder_rotation_count(int n, int m, const AdderOptions& options) {
+  std::size_t count = 0;
+  for (int q = 1; q <= m; ++q)
+    for (int j = 1; j <= std::min(q, n); ++j)
+      if (keep_rotation(q - j + 1, options)) ++count;
+  return count;
+}
+
+}  // namespace qfab

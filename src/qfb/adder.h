@@ -1,0 +1,68 @@
+// Quantum Fourier Addition (QFA) — Draper-style phase-space arithmetic.
+//
+// The adder updates a target register y (m qubits) by a source register x
+// (n <= m qubits): |x>|y> -> |x>|y + x mod 2^m>. With m = n the operation is
+// the paper's modular adder; with m = n + 1 and inputs below 2^n it is the
+// non-modular adder of Fig. 2. Subtraction is the same circuit with negated
+// rotation angles. Because values are two's-complement encodings mod 2^m,
+// signed addition works unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "qfb/qft.h"
+
+namespace qfab {
+
+struct AdderOptions {
+  /// AQFT approximation depth d for the surrounding QFT/QFT^{-1}
+  /// (kFullDepth = exact).
+  int qft_depth = kFullDepth;
+
+  /// Approximation of the *addition step* itself (the paper defers this to
+  /// future work; we expose it for the ablation bench). 0 = exact;
+  /// otherwise keep only rotations R_l with l - 1 <= add_depth, mirroring
+  /// the AQFT rule.
+  int add_depth = 0;
+
+  /// Drop rotations R_l with l > max_rotation_order everywhere in the
+  /// addition step (0 = keep all). The paper's Table I gate counts
+  /// correspond to max_rotation_order = n - 1 for QFA (one R_n gate fewer
+  /// than the exact modular adder); see EXPERIMENTS.md.
+  int max_rotation_order = 0;
+
+  /// Negate all addition rotations: y -> y - x mod 2^m.
+  bool subtract = false;
+};
+
+/// Append only the addition step (Fig. 2): assumes y is already in the
+/// Fourier basis produced by append_qft (swapless convention).
+void append_phase_add(QuantumCircuit& qc, const std::vector<int>& x,
+                      const std::vector<int>& y,
+                      const AdderOptions& options = {});
+
+/// Append the full QFA: QFT(y), add, QFT(y)^{-1}.
+void append_qfa(QuantumCircuit& qc, const std::vector<int>& x,
+                const std::vector<int>& y, const AdderOptions& options = {});
+
+/// Classical-operand addition (paper Sec. III closing remark): adds the
+/// constant `value` (interpreted mod 2^m) using single-qubit rotations only.
+/// Assumes y is already in the Fourier basis.
+void append_phase_add_const(QuantumCircuit& qc, const std::vector<int>& y,
+                            std::int64_t value, bool subtract = false);
+
+/// Full constant QFA: QFT(y), add constant, QFT(y)^{-1}.
+void append_qfa_const(QuantumCircuit& qc, const std::vector<int>& y,
+                      std::int64_t value, const AdderOptions& options = {});
+
+/// Standalone adder circuit with registers "x" (n qubits) and "y" (m
+/// qubits), m >= n.
+QuantumCircuit make_qfa(int n, int m, const AdderOptions& options = {});
+
+/// Number of controlled-phase rotations in the addition step.
+std::size_t adder_rotation_count(int n, int m,
+                                 const AdderOptions& options = {});
+
+}  // namespace qfab

@@ -1,0 +1,148 @@
+#include "qfb/modular.h"
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace qfab {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Fourier-space constant addition of `value` (two's complement mod 2^m)
+/// onto `y`, lifted over 0-2 control qubits.
+void emit_const_phase_add(QuantumCircuit& qc, const std::vector<int>& y,
+                          u64 value, bool subtract,
+                          const std::vector<int>& controls) {
+  const int m = static_cast<int>(y.size());
+  const double sign = subtract ? -1.0 : 1.0;
+  for (int q = 1; q <= m; ++q) {
+    const u64 mod = u64{1} << q;
+    const u64 rem = value & (mod - 1);
+    if (rem == 0) continue;
+    const double angle =
+        sign * kTwoPi * static_cast<double>(rem) / static_cast<double>(mod);
+    switch (controls.size()) {
+      case 0:
+        qc.p(y[q - 1], angle);
+        break;
+      case 1:
+        qc.cp(controls[0], y[q - 1], angle);
+        break;
+      case 2:
+        qc.ccp(controls[0], controls[1], y[q - 1], angle);
+        break;
+      default:
+        QFAB_CHECK_MSG(false, "at most two controls supported");
+    }
+  }
+}
+
+}  // namespace
+
+u64 modular_inverse(u64 a, u64 N) {
+  QFAB_CHECK(N >= 2 && a < N);
+  // Extended Euclid on signed intermediates.
+  std::int64_t t = 0, new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(N);
+  std::int64_t new_r = static_cast<std::int64_t>(a);
+  while (new_r != 0) {
+    const std::int64_t q = r / new_r;
+    t = std::exchange(new_t, t - q * new_t);
+    r = std::exchange(new_r, r - q * new_r);
+  }
+  QFAB_CHECK_MSG(r == 1, "modular_inverse: gcd(" << a << ", " << N
+                                                 << ") != 1");
+  if (t < 0) t += static_cast<std::int64_t>(N);
+  return static_cast<u64>(t);
+}
+
+u64 modular_pow(u64 a, u64 e, u64 N) {
+  QFAB_CHECK(N >= 1);
+  u64 result = 1 % N;
+  u64 base = a % N;
+  while (e > 0) {
+    if (e & 1) result = (result * base) % N;
+    base = (base * base) % N;
+    e >>= 1;
+  }
+  return result;
+}
+
+void append_modular_add_const(QuantumCircuit& qc, const std::vector<int>& y,
+                              int ancilla, u64 a, u64 N,
+                              const std::vector<int>& controls,
+                              int qft_depth) {
+  const int m = static_cast<int>(y.size());
+  QFAB_CHECK_MSG(m >= 2, "modular adder needs n+1 >= 2 qubits");
+  QFAB_CHECK_MSG(N >= 2 && N < pow2(m - 1), "modulus must fit in n bits");
+  QFAB_CHECK(a < N);
+  const int msb = y[m - 1];
+
+  // Work in Fourier space; drop to the computational basis only for the
+  // two sentinel-bit tests.
+  append_qft(qc, y, qft_depth);
+  emit_const_phase_add(qc, y, a, false, controls);
+  emit_const_phase_add(qc, y, N, true, {});
+  append_iqft(qc, y, qft_depth);
+  qc.cx(msb, ancilla);  // ancilla <- 1 iff y + a - N went negative
+  append_qft(qc, y, qft_depth);
+  emit_const_phase_add(qc, y, N, false, {ancilla});
+  emit_const_phase_add(qc, y, a, true, controls);
+  append_iqft(qc, y, qft_depth);
+  // Restore the ancilla: after subtracting a back, msb == 0 iff the
+  // original value was >= 0 (i.e. the reduction branch was NOT taken).
+  qc.x(msb);
+  qc.cx(msb, ancilla);
+  qc.x(msb);
+  append_qft(qc, y, qft_depth);
+  emit_const_phase_add(qc, y, a, false, controls);
+  append_iqft(qc, y, qft_depth);
+}
+
+void append_modular_mac_const(QuantumCircuit& qc, const std::vector<int>& x,
+                              const std::vector<int>& z, int ancilla, u64 a,
+                              u64 N, int control, int qft_depth) {
+  QFAB_CHECK(!x.empty());
+  u64 term = a % N;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::vector<int> controls;
+    if (control >= 0) controls.push_back(control);
+    controls.push_back(x[i]);
+    if (term != 0)
+      append_modular_add_const(qc, z, ancilla, term, N, controls, qft_depth);
+    term = (term * 2) % N;
+  }
+}
+
+void append_modular_mul_const(QuantumCircuit& qc, const std::vector<int>& x,
+                              const std::vector<int>& scratch, int ancilla,
+                              u64 a, u64 N, int control, int qft_depth) {
+  const int n = static_cast<int>(x.size());
+  QFAB_CHECK(static_cast<int>(scratch.size()) == n + 1);
+  const u64 a_red = a % N;
+  const u64 a_inv = modular_inverse(a_red, N);
+
+  // scratch += a·x mod N
+  append_modular_mac_const(qc, x, scratch, ancilla, a_red, N, control,
+                           qft_depth);
+  // (c)SWAP the value qubits of x and scratch.
+  for (int i = 0; i < n; ++i) {
+    if (control < 0) {
+      qc.swap(x[i], scratch[i]);
+    } else {
+      // Fredkin via CX · CCX · CX.
+      qc.cx(scratch[i], x[i]);
+      qc.ccx(control, x[i], scratch[i]);
+      qc.cx(scratch[i], x[i]);
+    }
+  }
+  // Uncompute the old x (now in scratch): scratch -= a^{-1}·x_new mod N.
+  QuantumCircuit mac_inv(qc.num_qubits());
+  append_modular_mac_const(mac_inv, x, scratch, ancilla, a_inv, N, control,
+                           qft_depth);
+  qc.compose(mac_inv.inverse());
+}
+
+}  // namespace qfab

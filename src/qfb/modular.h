@@ -1,0 +1,64 @@
+// Modular arithmetic in the Fourier basis (Beauregard's construction) —
+// the modular QFA/QFM variants the paper points to (Refs. [ruiz2017],
+// [2020sahin]) and the substrate of Shor-style modular exponentiation.
+//
+// Core primitive: the modular constant adder  |y> -> |y + a mod N>  on an
+// (n+1)-qubit register (top qubit is the overflow/sign sentinel, always
+// returned to |0>) plus one ancilla:
+//
+//   φ-add(a); φ-sub(N); QFT†; CX(msb, anc); QFT; c-φ-add(N | anc);
+//   φ-sub(a); QFT†; X(msb); CX(msb, anc); X(msb); QFT; φ-add(a)
+//
+// All additions are single-qubit-rotation constant adders, so controlled
+// variants stay cheap. Built on top of it:
+//
+//   * append_cc_modular_add_const — doubly-controlled (for multiplication),
+//   * append_modular_mac_const    — |x>|z> -> |x>|z + a·x mod N>,
+//   * append_modular_mul_const    — in-place |x> -> |a·x mod N> (requires
+//     gcd(a, N) = 1; uses the multiply / swap / inverse-uncompute trick).
+//
+// Register convention: values live in the low n qubits; `y` spans n+1
+// qubits. Requires 0 <= a < N and N >= 2 (values reduced mod N on entry
+// is the caller's contract, as in Beauregard).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "qfb/qft.h"
+
+namespace qfab {
+
+/// |y> -> |y + a mod N>. `y` has n+1 qubits (n = value width, msb
+/// sentinel), `ancilla` is one clean qubit (returned clean). `controls`
+/// (0, 1 or 2 qubits) lift the whole operation to a (multi-)controlled one.
+void append_modular_add_const(QuantumCircuit& qc, const std::vector<int>& y,
+                              int ancilla, u64 a, u64 N,
+                              const std::vector<int>& controls = {},
+                              int qft_depth = kFullDepth);
+
+/// |x>|z> -> |x>|z + a·x mod N>: a cascade of doubly-controlled modular
+/// constant adders (one per x bit, constants a·2^i mod N). `z` has n+1
+/// qubits. A single optional extra control lifts it to the controlled
+/// version used by modular exponentiation.
+void append_modular_mac_const(QuantumCircuit& qc, const std::vector<int>& x,
+                              const std::vector<int>& z, int ancilla, u64 a,
+                              u64 N, int control = -1,
+                              int qft_depth = kFullDepth);
+
+/// In-place modular multiplication |x> -> |a·x mod N> for gcd(a, N) = 1:
+/// MAC into a clean (n+1)-qubit scratch register, SWAP the low n qubits,
+/// then uncompute with the inverse MAC of a^{-1} mod N. Optional control.
+void append_modular_mul_const(QuantumCircuit& qc, const std::vector<int>& x,
+                              const std::vector<int>& scratch, int ancilla,
+                              u64 a, u64 N, int control = -1,
+                              int qft_depth = kFullDepth);
+
+/// a^{-1} mod N (throws CheckError when gcd(a, N) != 1).
+u64 modular_inverse(u64 a, u64 N);
+
+/// a^e mod N by repeated squaring.
+u64 modular_pow(u64 a, u64 e, u64 N);
+
+}  // namespace qfab

@@ -1,0 +1,69 @@
+#include "qfb/qft.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace qfab {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Angle of the paper's R_l gate: 2π / 2^l.
+double rotation_angle(int l) { return kTwoPi / std::ldexp(1.0, l); }
+}  // namespace
+
+int resolve_qft_depth(int depth, int register_size) {
+  QFAB_CHECK(register_size >= 1);
+  if (depth == kFullDepth) return register_size - 1;
+  QFAB_CHECK_MSG(depth >= 0, "QFT depth must be >= 0 or kFullDepth");
+  return std::min(depth, register_size - 1);
+}
+
+void append_qft(QuantumCircuit& qc, const std::vector<int>& qubits,
+                int depth, bool with_swaps) {
+  const int n = static_cast<int>(qubits.size());
+  QFAB_CHECK(n >= 1);
+  const int d = resolve_qft_depth(depth, n);
+  // Process qubits from most significant (local index n) downward; each
+  // gets H followed by rotations controlled by the next-lower qubits.
+  for (int q = n; q >= 1; --q) {
+    qc.h(qubits[q - 1]);
+    // Rotation R_l controlled by local qubit j = q - (l - 1); keep l-1 <= d.
+    for (int l = 2; l <= std::min(q, d + 1); ++l) {
+      const int j = q - (l - 1);
+      qc.cp(qubits[j - 1], qubits[q - 1], rotation_angle(l));
+    }
+  }
+  if (with_swaps)
+    for (int i = 0; i < n / 2; ++i) qc.swap(qubits[i], qubits[n - 1 - i]);
+}
+
+void append_iqft(QuantumCircuit& qc, const std::vector<int>& qubits,
+                 int depth, bool with_swaps) {
+  QuantumCircuit fwd(qc.num_qubits());
+  append_qft(fwd, qubits, depth, with_swaps);
+  qc.compose(fwd.inverse());
+}
+
+QuantumCircuit make_qft(int n, int depth, bool with_swaps) {
+  QuantumCircuit qc(0);
+  const QubitRange r = qc.add_register("q", n);
+  append_qft(qc, range_qubits(r), depth, with_swaps);
+  return qc;
+}
+
+std::size_t qft_rotation_count(int n, int depth) {
+  const int d = resolve_qft_depth(depth, n);
+  std::size_t count = 0;
+  for (int q = 1; q <= n; ++q)
+    count += static_cast<std::size_t>(std::min(q - 1, d));
+  return count;
+}
+
+std::vector<int> range_qubits(const QubitRange& r) {
+  std::vector<int> out(static_cast<std::size_t>(r.size));
+  for (int i = 0; i < r.size; ++i) out[static_cast<std::size_t>(i)] = r[i];
+  return out;
+}
+
+}  // namespace qfab

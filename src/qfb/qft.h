@@ -1,0 +1,47 @@
+// Quantum Fourier Transform and its depth-d approximation (AQFT).
+//
+// Conventions (matching the paper, Sec. II):
+//  * Registers are little-endian: qubits[0] is the least-significant bit.
+//  * The QFT is *swapless* (Draper form): after the transform, qubit q
+//    (1-indexed from the LSB) carries the phase e^{2πi y / 2^q}, i.e. the
+//    binary fraction [0.y_q ... y_1]. The arithmetic layer performs all
+//    phase additions in this basis, so no SWAP network is ever needed.
+//  * The approximation depth d is the maximum number of *controlled*
+//    rotations applied per qubit (the paper's d): the full QFT of an
+//    n-qubit register corresponds to d = n-1, and depth d keeps exactly
+//    the rotations R_2 .. R_{d+1} (R_l = P(2π/2^l)).
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qfab {
+
+/// Sentinel for "no approximation" (d = register size - 1).
+inline constexpr int kFullDepth = -1;
+
+/// Resolve a depth argument: kFullDepth -> size-1; otherwise clamp-checked.
+int resolve_qft_depth(int depth, int register_size);
+
+/// Append the (A)QFT of `qubits` to `qc`. `with_swaps` appends the final
+/// bit-reversal SWAP network, making the circuit equal to the textbook DFT.
+void append_qft(QuantumCircuit& qc, const std::vector<int>& qubits,
+                int depth = kFullDepth, bool with_swaps = false);
+
+/// Append the inverse (A)QFT.
+void append_iqft(QuantumCircuit& qc, const std::vector<int>& qubits,
+                 int depth = kFullDepth, bool with_swaps = false);
+
+/// Standalone n-qubit (A)QFT circuit with a register named "q".
+QuantumCircuit make_qft(int n, int depth = kFullDepth,
+                        bool with_swaps = false);
+
+/// Number of controlled-phase rotations in an n-qubit depth-d (A)QFT:
+/// sum over qubits q of min(q-1, d).
+std::size_t qft_rotation_count(int n, int depth = kFullDepth);
+
+/// Qubit indices of a register range as a vector (helper for the appenders).
+std::vector<int> range_qubits(const QubitRange& r);
+
+}  // namespace qfab

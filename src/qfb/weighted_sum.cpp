@@ -1,0 +1,44 @@
+#include "qfb/weighted_sum.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace qfab {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}  // namespace
+
+void append_weighted_phase_add(QuantumCircuit& qc, const std::vector<int>& x,
+                               const std::vector<int>& acc,
+                               std::int64_t weight) {
+  const int n = static_cast<int>(x.size());
+  const int m = static_cast<int>(acc.size());
+  QFAB_CHECK(n >= 1 && m >= 1 && m < 62);
+  if (weight == 0) return;
+  for (int j = 1; j <= n; ++j) {
+    // x_j contributes weight * 2^{j-1}; on accumulator qubit q the phase is
+    // 2π (weight·2^{j-1} mod 2^q) / 2^q.
+    for (int q = 1; q <= m; ++q) {
+      const std::int64_t mod = std::int64_t{1} << q;
+      // weight * 2^{j-1} mod 2^q, kept exact by reducing weight first.
+      const std::int64_t w_mod = ((weight % mod) + mod) % mod;
+      std::int64_t rem = w_mod;
+      for (int s = 1; s < j; ++s) rem = (rem * 2) % mod;
+      if (rem == 0) continue;
+      qc.cp(x[j - 1], acc[q - 1],
+            kTwoPi * static_cast<double>(rem) / static_cast<double>(mod));
+    }
+  }
+}
+
+void append_weighted_sum(QuantumCircuit& qc,
+                         const std::vector<WeightedTerm>& terms,
+                         const std::vector<int>& acc, int qft_depth) {
+  append_qft(qc, acc, qft_depth);
+  for (const WeightedTerm& t : terms)
+    append_weighted_phase_add(qc, t.qubits, acc, t.weight);
+  append_iqft(qc, acc, qft_depth);
+}
+
+}  // namespace qfab

@@ -1,0 +1,38 @@
+// Weighted sums of quantum integers with classical weights — the
+// data-processing / machine-learning motif the paper's introduction cites
+// (weighted-sum optimization, inner products with known coefficients).
+//
+// acc += Σ_k w_k · x^(k)  (mod 2^{|acc|}),
+//
+// realized as one QFT on the accumulator, then per-term phase additions
+// (each x bit controls single-qubit-indexed rotations scaled by the
+// classical weight), then one inverse QFT. Negative weights subtract, so
+// signed (two's-complement) weighted sums work directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "qfb/qft.h"
+
+namespace qfab {
+
+struct WeightedTerm {
+  std::vector<int> qubits;  // the quantum integer x^(k), little-endian
+  std::int64_t weight = 1;  // classical coefficient w_k
+};
+
+/// Append the phase-space addition of weight * x into an accumulator that
+/// is already in the Fourier basis.
+void append_weighted_phase_add(QuantumCircuit& qc, const std::vector<int>& x,
+                               const std::vector<int>& acc,
+                               std::int64_t weight);
+
+/// Full weighted sum: QFT(acc), all terms, QFT(acc)^{-1}.
+void append_weighted_sum(QuantumCircuit& qc,
+                         const std::vector<WeightedTerm>& terms,
+                         const std::vector<int>& acc,
+                         int qft_depth = kFullDepth);
+
+}  // namespace qfab

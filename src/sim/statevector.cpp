@@ -1,0 +1,340 @@
+#include "sim/statevector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qfab {
+
+namespace {
+constexpr int kMaxQubits = 30;
+
+cplx expi(double t) { return {std::cos(t), std::sin(t)}; }
+}  // namespace
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  QFAB_CHECK_MSG(num_qubits >= 1 && num_qubits <= kMaxQubits,
+                 "unsupported qubit count " << num_qubits);
+  amps_.assign(pow2(num_qubits), cplx{0.0, 0.0});
+  amps_[0] = 1.0;
+}
+
+StateVector StateVector::from_amplitudes(std::vector<cplx> amps) {
+  const int n = ceil_log2(amps.size());
+  QFAB_CHECK_MSG(!amps.empty() && pow2(n) == amps.size(),
+                 "amplitude count must be a power of two");
+  StateVector sv(n);
+  sv.amps_ = std::move(amps);
+  QFAB_CHECK_MSG(std::abs(sv.norm() - 1.0) < 1e-8, "state not normalized");
+  return sv;
+}
+
+void StateVector::flush_pending_phase() const {
+  if (pending_phase_ == 0.0) return;
+  const cplx ph = expi(pending_phase_);
+  for (cplx& a : amps_) a *= ph;
+  pending_phase_ = 0.0;
+}
+
+void StateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
+  amps_[0] = 1.0;
+  pending_phase_ = 0.0;
+}
+
+void StateVector::set_basis_state(u64 value) {
+  QFAB_CHECK(value < dim());
+  std::fill(amps_.begin(), amps_.end(), cplx{0.0, 0.0});
+  amps_[value] = 1.0;
+  pending_phase_ = 0.0;
+}
+
+void StateVector::set_amplitude(u64 index, cplx a) {
+  QFAB_CHECK(index < dim());
+  flush_pending_phase();
+  amps_[index] = a;
+}
+
+cplx StateVector::amplitude(u64 index) const {
+  QFAB_CHECK(index < dim());
+  flush_pending_phase();
+  return amps_[index];
+}
+
+const std::vector<cplx>& StateVector::amplitudes() const {
+  flush_pending_phase();
+  return amps_;
+}
+
+double StateVector::norm() const {
+  double s = 0.0;
+  for (const cplx& a : amps_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+void StateVector::apply_matrix1(const cplx m[2][2], int q) {
+  QFAB_CHECK(q >= 0 && q < num_qubits_);
+  cplx* a = amps_.data();
+  const u64 bit = u64{1} << q;
+  const u64 n = dim();
+  const cplx m00 = m[0][0], m01 = m[0][1], m10 = m[1][0], m11 = m[1][1];
+  for (u64 base = 0; base < n; base += 2 * bit) {
+    for (u64 off = 0; off < bit; ++off) {
+      const u64 i0 = base + off;
+      const u64 i1 = i0 | bit;
+      const cplx v0 = a[i0], v1 = a[i1];
+      a[i0] = m00 * v0 + m01 * v1;
+      a[i1] = m10 * v0 + m11 * v1;
+    }
+  }
+}
+
+void StateVector::apply_phase_on_bit(int q, cplx phase) {
+  cplx* a = amps_.data();
+  const u64 bit = u64{1} << q;
+  const u64 n = dim();
+  for (u64 base = bit; base < n; base += 2 * bit)
+    for (u64 off = 0; off < bit; ++off) a[base + off] *= phase;
+}
+
+void StateVector::apply_matrix2(const Matrix& u, int q0, int q1) {
+  // Gate-local bit 0 = q0, bit 1 = q1.
+  QFAB_CHECK(u.rows() == 4 && u.cols() == 4);
+  const int lo = std::min(q0, q1), hi = std::max(q0, q1);
+  cplx* a = amps_.data();
+  const u64 quarter = dim() >> 2;
+  for (u64 g = 0; g < quarter; ++g) {
+    const u64 base = insert_two_zero_bits(g, lo, hi);
+    u64 idx[4];
+    for (int loc = 0; loc < 4; ++loc) {
+      u64 i = base;
+      if (loc & 1) i |= u64{1} << q0;
+      if (loc & 2) i |= u64{1} << q1;
+      idx[loc] = i;
+    }
+    cplx v[4] = {a[idx[0]], a[idx[1]], a[idx[2]], a[idx[3]]};
+    for (int r = 0; r < 4; ++r) {
+      cplx acc{0.0, 0.0};
+      for (int c = 0; c < 4; ++c) acc += u.at(r, c) * v[c];
+      a[idx[r]] = acc;
+    }
+  }
+}
+
+void StateVector::apply_pauli(Pauli p, int q) {
+  QFAB_CHECK(q >= 0 && q < num_qubits_);
+  cplx* a = amps_.data();
+  const u64 bit = u64{1} << q;
+  const u64 n = dim();
+  switch (p) {
+    case Pauli::kI:
+      return;
+    case Pauli::kX:
+      for (u64 base = 0; base < n; base += 2 * bit)
+        for (u64 off = 0; off < bit; ++off)
+          std::swap(a[base + off], a[base + off + bit]);
+      return;
+    case Pauli::kY:
+      for (u64 base = 0; base < n; base += 2 * bit)
+        for (u64 off = 0; off < bit; ++off) {
+          const u64 i0 = base + off;
+          const u64 i1 = i0 + bit;
+          const cplx v0 = a[i0], v1 = a[i1];
+          a[i0] = cplx{v1.imag(), -v1.real()};   // -i * v1
+          a[i1] = cplx{-v0.imag(), v0.real()};   //  i * v0
+        }
+      return;
+    case Pauli::kZ:
+      apply_phase_on_bit(q, cplx{-1.0, 0.0});
+      return;
+  }
+}
+
+void StateVector::apply_gate(const Gate& g) {
+  cplx* a = amps_.data();
+  const u64 n = dim();
+  switch (g.kind) {
+    case GateKind::kId:
+      return;
+    case GateKind::kX:
+      apply_pauli(Pauli::kX, g.qubits[0]);
+      return;
+    case GateKind::kY:
+      apply_pauli(Pauli::kY, g.qubits[0]);
+      return;
+    case GateKind::kZ:
+      apply_pauli(Pauli::kZ, g.qubits[0]);
+      return;
+    case GateKind::kRZ:
+      // diag(e^{-iθ/2}, e^{iθ/2}) = e^{-iθ/2} diag(1, e^{iθ}): the scalar
+      // goes to the pending phase, halving the touched amplitudes.
+      pending_phase_ += -g.params[0] / 2;
+      apply_phase_on_bit(g.qubits[0], expi(g.params[0]));
+      return;
+    case GateKind::kP:
+      apply_phase_on_bit(g.qubits[0], expi(g.params[0]));
+      return;
+    case GateKind::kCX: {
+      const u64 cbit = u64{1} << g.qubits[1];
+      const u64 tbit = u64{1} << g.qubits[0];
+      const int lo = std::min(g.qubits[0], g.qubits[1]);
+      const int hi = std::max(g.qubits[0], g.qubits[1]);
+      const u64 quarter = n >> 2;
+      for (u64 gidx = 0; gidx < quarter; ++gidx) {
+        const u64 i0 = insert_two_zero_bits(gidx, lo, hi) | cbit;
+        std::swap(a[i0], a[i0 | tbit]);
+      }
+      return;
+    }
+    case GateKind::kCZ:
+    case GateKind::kCP: {
+      const cplx ph = g.kind == GateKind::kCZ ? cplx{-1.0, 0.0}
+                                              : expi(g.params[0]);
+      const int lo = std::min(g.qubits[0], g.qubits[1]);
+      const int hi = std::max(g.qubits[0], g.qubits[1]);
+      const u64 mask = (u64{1} << g.qubits[0]) | (u64{1} << g.qubits[1]);
+      const u64 quarter = n >> 2;
+      for (u64 gidx = 0; gidx < quarter; ++gidx)
+        a[insert_two_zero_bits(gidx, lo, hi) | mask] *= ph;
+      return;
+    }
+    case GateKind::kCCP: {
+      const cplx ph = expi(g.params[0]);
+      int qs[3] = {g.qubits[0], g.qubits[1], g.qubits[2]};
+      std::sort(qs, qs + 3);
+      const u64 mask = (u64{1} << qs[0]) | (u64{1} << qs[1]) |
+                       (u64{1} << qs[2]);
+      const u64 eighth = n >> 3;
+      for (u64 gidx = 0; gidx < eighth; ++gidx) {
+        const u64 i =
+            insert_zero_bit(insert_two_zero_bits(gidx, qs[0], qs[1]), qs[2]);
+        a[i | mask] *= ph;
+      }
+      return;
+    }
+    case GateKind::kSWAP: {
+      const int lo = std::min(g.qubits[0], g.qubits[1]);
+      const int hi = std::max(g.qubits[0], g.qubits[1]);
+      const u64 lobit = u64{1} << lo, hibit = u64{1} << hi;
+      const u64 quarter = n >> 2;
+      for (u64 gidx = 0; gidx < quarter; ++gidx) {
+        const u64 base = insert_two_zero_bits(gidx, lo, hi);
+        std::swap(a[base | lobit], a[base | hibit]);
+      }
+      return;
+    }
+    case GateKind::kH:
+    case GateKind::kSX:
+    case GateKind::kSXdg:
+    case GateKind::kRY:
+    case GateKind::kRX:
+    case GateKind::kU: {
+      const Matrix m = g.matrix();
+      const cplx m2[2][2] = {{m.at(0, 0), m.at(0, 1)},
+                             {m.at(1, 0), m.at(1, 1)}};
+      apply_matrix1(m2, g.qubits[0]);
+      return;
+    }
+    case GateKind::kCH: {
+      apply_matrix2(g.matrix(), g.qubits[0], g.qubits[1]);
+      return;
+    }
+    case GateKind::kCCX: {
+      const u64 cmask = (u64{1} << g.qubits[1]) | (u64{1} << g.qubits[2]);
+      const u64 tbit = u64{1} << g.qubits[0];
+      for (u64 i = 0; i < n; ++i)
+        if ((i & cmask) == cmask && !(i & tbit)) std::swap(a[i], a[i | tbit]);
+      return;
+    }
+  }
+  QFAB_CHECK_MSG(false, "unhandled gate " << g.to_string());
+}
+
+void StateVector::apply_circuit(const QuantumCircuit& qc) {
+  QFAB_CHECK(qc.num_qubits() == num_qubits_);
+  for (const Gate& g : qc.gates()) apply_gate(g);
+  apply_global_phase(qc.global_phase());
+}
+
+void StateVector::apply_circuit_range(const QuantumCircuit& qc,
+                                      std::size_t begin, std::size_t end) {
+  QFAB_CHECK(qc.num_qubits() == num_qubits_);
+  QFAB_CHECK(begin <= end && end <= qc.gates().size());
+  for (std::size_t i = begin; i < end; ++i) apply_gate(qc.gates()[i]);
+}
+
+void StateVector::apply_global_phase(double phase) {
+  pending_phase_ += phase;
+}
+
+void StateVector::apply_matrix(const Matrix& u,
+                               const std::vector<int>& targets) {
+  const int k = ceil_log2(u.rows());
+  QFAB_CHECK(pow2(k) == u.rows() && u.rows() == u.cols());
+  QFAB_CHECK(static_cast<int>(targets.size()) == k);
+  const u64 gd = u.rows();
+  std::vector<cplx> scratch(gd);
+  std::vector<u64> idx(gd);
+  // Enumerate all assignments of the non-target bits.
+  std::vector<int> sorted = targets;
+  std::sort(sorted.begin(), sorted.end());
+  const u64 outer = dim() >> k;
+  for (u64 g = 0; g < outer; ++g) {
+    u64 base = g;
+    for (int b : sorted) base = insert_zero_bit(base, b);
+    for (u64 loc = 0; loc < gd; ++loc) {
+      u64 i = base;
+      for (int b = 0; b < k; ++b)
+        if (loc & (u64{1} << b)) i |= u64{1} << targets[b];
+      idx[loc] = i;
+      scratch[loc] = amps_[i];
+    }
+    for (u64 r = 0; r < gd; ++r) {
+      cplx acc{0.0, 0.0};
+      for (u64 c = 0; c < gd; ++c) acc += u.at(r, c) * scratch[c];
+      amps_[idx[r]] = acc;
+    }
+  }
+}
+
+std::vector<double> StateVector::probabilities() const {
+  std::vector<double> p(amps_.size());
+  for (std::size_t i = 0; i < amps_.size(); ++i) p[i] = std::norm(amps_[i]);
+  return p;
+}
+
+std::vector<double> StateVector::marginal_probabilities(
+    const std::vector<int>& qubits) const {
+  QFAB_CHECK(!qubits.empty() &&
+             qubits.size() <= static_cast<std::size_t>(num_qubits_));
+  for (int q : qubits) QFAB_CHECK(q >= 0 && q < num_qubits_);
+  std::vector<double> out(pow2(static_cast<int>(qubits.size())), 0.0);
+  const u64 n = dim();
+  for (u64 i = 0; i < n; ++i) {
+    const double pr = std::norm(amps_[i]);
+    if (pr == 0.0) continue;
+    u64 key = 0;
+    for (std::size_t b = 0; b < qubits.size(); ++b)
+      key |= static_cast<u64>(get_bit(i, qubits[b])) << b;
+    out[key] += pr;
+  }
+  return out;
+}
+
+u64 StateVector::sample(Pcg64& rng) const {
+  double u = rng.uniform();
+  const u64 n = dim();
+  double acc = 0.0;
+  for (u64 i = 0; i < n; ++i) {
+    acc += std::norm(amps_[i]);
+    if (u < acc) return i;
+  }
+  return n - 1;  // numerical slack: norm sums to 1 ± epsilon
+}
+
+std::vector<std::uint64_t> StateVector::sample_counts(
+    const std::vector<int>& qubits, std::uint64_t shots, Pcg64& rng) const {
+  const std::vector<double> marg = marginal_probabilities(qubits);
+  return multinomial(rng, shots, marg);
+}
+
+}  // namespace qfab

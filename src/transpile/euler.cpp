@@ -1,0 +1,43 @@
+#include "transpile/euler.h"
+
+#include <cmath>
+
+#include "linalg/gates.h"
+
+namespace qfab {
+
+ZyzAngles zyz_decompose(const Matrix& u) {
+  QFAB_CHECK(u.rows() == 2 && u.cols() == 2);
+  QFAB_CHECK_MSG(u.is_unitary(1e-9), "zyz_decompose: matrix is not unitary");
+
+  const cplx det = u.at(0, 0) * u.at(1, 1) - u.at(0, 1) * u.at(1, 0);
+  ZyzAngles out;
+  out.alpha = 0.5 * std::arg(det);
+  // V = e^{-iα} U is special-unitary: V = [[a, -conj(b)], [b, conj(a)]].
+  const cplx phase{std::cos(-out.alpha), std::sin(-out.alpha)};
+  const cplx a = u.at(0, 0) * phase;
+  const cplx b = u.at(1, 0) * phase;
+
+  const double abs_a = std::abs(a), abs_b = std::abs(b);
+  out.gamma = 2.0 * std::atan2(abs_b, abs_a);
+  constexpr double kEps = 1e-12;
+  if (abs_b < kEps) {
+    out.delta = 0.0;
+    out.beta = -2.0 * std::arg(a);
+  } else if (abs_a < kEps) {
+    out.delta = 0.0;
+    out.beta = 2.0 * std::arg(b);
+  } else {
+    out.beta = -std::arg(a) + std::arg(b);
+    out.delta = -std::arg(a) - std::arg(b);
+  }
+
+  // Verify: a wrong branch here would silently corrupt every controlled-U.
+  const Matrix rebuilt = gates::RZ(out.beta) * gates::RY(out.gamma) *
+                         gates::RZ(out.delta) *
+                         cplx{std::cos(out.alpha), std::sin(out.alpha)};
+  QFAB_CHECK_MSG(rebuilt.approx_equal(u, 1e-8), "zyz_decompose self-check");
+  return out;
+}
+
+}  // namespace qfab

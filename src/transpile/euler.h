@@ -1,0 +1,21 @@
+// Euler-angle decompositions of single-qubit unitaries, used by the basis
+// decomposer for generic 1q gates and for controlled-U (ABC) synthesis.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace qfab {
+
+/// U = e^{iα} RZ(β) RY(γ) RZ(δ)  (matrix product order: RZ(δ) applied first).
+struct ZyzAngles {
+  double alpha = 0.0;  // global phase
+  double beta = 0.0;
+  double gamma = 0.0;
+  double delta = 0.0;
+};
+
+/// Decompose an arbitrary 2x2 unitary. Throws CheckError when `u` is not
+/// unitary to 1e-9.
+ZyzAngles zyz_decompose(const Matrix& u);
+
+}  // namespace qfab

@@ -1,0 +1,35 @@
+// Peephole optimization of basis circuits.
+//
+// Mirrors what Qiskit's level-1 transpiler does to the paper's circuits:
+// merge RZ runs (using commutation with CX controls and diagonal gates),
+// drop full-turn rotations, and cancel adjacent CX pairs. All rewrites are
+// exactly phase-tracked, so optimized circuits remain unitarily identical —
+// a property the test suite checks on random circuits.
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace qfab {
+
+struct OptimizeStats {
+  std::size_t rz_merged = 0;      // RZ gates folded into a neighbor
+  std::size_t rz_removed = 0;     // RZ gates that became (-)identity
+  std::size_t cx_cancelled = 0;   // CX gates removed (counts both of a pair)
+  std::size_t passes = 0;
+};
+
+struct OptimizeOptions {
+  /// Allow rewrites to look *through* commuting gates (RZ slides over CX
+  /// controls and diagonals; CX pairs cancel across commuting neighbors).
+  /// false reproduces Qiskit 0.31's run-based level-1 behavior (merges and
+  /// cancellations only across literally adjacent gates on a wire), which
+  /// is what the paper's Table I counts correspond to.
+  bool commute = true;
+};
+
+/// Optimize in place; returns rewrite statistics. Requires a basis circuit
+/// (every gate in {id, x, sx, rz, cx}).
+OptimizeStats optimize_basis_circuit(QuantumCircuit& qc,
+                                     const OptimizeOptions& options = {});
+
+}  // namespace qfab

@@ -1,0 +1,81 @@
+#include "transpile/routing.h"
+
+#include <numeric>
+
+namespace qfab {
+
+RoutedCircuit route_linear(const QuantumCircuit& qc) {
+  const int n = qc.num_qubits();
+  RoutedCircuit out;
+  out.circuit = QuantumCircuit::same_shape(qc);
+  out.circuit.add_global_phase(qc.global_phase());
+
+  // position[logical] = physical chain slot; holder[physical] = logical.
+  std::vector<int> position(static_cast<std::size_t>(n));
+  std::vector<int> holder(static_cast<std::size_t>(n));
+  std::iota(position.begin(), position.end(), 0);
+  std::iota(holder.begin(), holder.end(), 0);
+
+  auto swap_physical = [&](int p) {
+    // Swap chain slots p and p+1.
+    out.circuit.swap(p, p + 1);
+    ++out.swaps_inserted;
+    const int a = holder[static_cast<std::size_t>(p)];
+    const int b = holder[static_cast<std::size_t>(p + 1)];
+    std::swap(holder[static_cast<std::size_t>(p)],
+              holder[static_cast<std::size_t>(p + 1)]);
+    position[static_cast<std::size_t>(a)] = p + 1;
+    position[static_cast<std::size_t>(b)] = p;
+  };
+
+  for (Gate g : qc.gates()) {
+    QFAB_CHECK_MSG(g.arity() <= 2,
+                   "route_linear requires <= 2q gates; transpile first");
+    if (g.arity() == 2) {
+      // Walk the two operands together, moving each one step at a time
+      // from both ends (balanced, halves worst-case depth vs one-sided).
+      int pa = position[static_cast<std::size_t>(g.qubits[0])];
+      int pb = position[static_cast<std::size_t>(g.qubits[1])];
+      while (std::abs(pa - pb) > 1) {
+        if (pa < pb) {
+          swap_physical(pa);
+          pa = position[static_cast<std::size_t>(g.qubits[0])];
+          pb = position[static_cast<std::size_t>(g.qubits[1])];
+          if (std::abs(pa - pb) > 1) {
+            swap_physical(pb - 1);
+            pa = position[static_cast<std::size_t>(g.qubits[0])];
+            pb = position[static_cast<std::size_t>(g.qubits[1])];
+          }
+        } else {
+          swap_physical(pb);
+          pa = position[static_cast<std::size_t>(g.qubits[0])];
+          pb = position[static_cast<std::size_t>(g.qubits[1])];
+          if (std::abs(pa - pb) > 1) {
+            swap_physical(pa - 1);
+            pa = position[static_cast<std::size_t>(g.qubits[0])];
+            pb = position[static_cast<std::size_t>(g.qubits[1])];
+          }
+        }
+      }
+    }
+    for (int i = 0; i < g.arity(); ++i)
+      g.qubits[i] = position[static_cast<std::size_t>(g.qubits[i])];
+    out.circuit.append(g);
+  }
+  out.final_layout = position;
+  return out;
+}
+
+std::vector<int> routed_qubits(const RoutedCircuit& routed,
+                               const std::vector<int>& logical) {
+  std::vector<int> out;
+  out.reserve(logical.size());
+  for (int q : logical) {
+    QFAB_CHECK(q >= 0 &&
+               q < static_cast<int>(routed.final_layout.size()));
+    out.push_back(routed.final_layout[static_cast<std::size_t>(q)]);
+  }
+  return out;
+}
+
+}  // namespace qfab

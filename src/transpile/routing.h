@@ -1,0 +1,38 @@
+// Qubit routing for restricted connectivity.
+//
+// The paper's simulations assume "an idealized layout with complete qubit
+// connectivity" and list connectivity/SWAP noise among the excluded
+// factors. This pass quantifies exactly that exclusion: it maps a basis
+// circuit onto a 1-D nearest-neighbor chain (the worst common
+// superconducting constraint) by greedily swapping interacting qubits
+// together, leaving the logical-to-physical mapping wherever the last gate
+// put it (no swap-back), which is how production routers minimize depth.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qfab {
+
+struct RoutedCircuit {
+  /// Physical circuit: every 2q gate acts on adjacent chain positions.
+  /// SWAPs are emitted as explicit kSWAP gates; call decompose/optimize
+  /// afterwards to count them as 3 CX each.
+  QuantumCircuit circuit;
+  /// final_layout[logical] = physical position after the last gate.
+  std::vector<int> final_layout;
+  std::size_t swaps_inserted = 0;
+};
+
+/// Route onto a linear chain of the same width. Accepts any circuit whose
+/// gates touch at most two qubits (transpile first: CCP etc. are 3q).
+/// The initial layout is the identity.
+RoutedCircuit route_linear(const QuantumCircuit& qc);
+
+/// Helper for interpreting measurements of a routed circuit: physical
+/// qubit indices that carry the given logical qubits.
+std::vector<int> routed_qubits(const RoutedCircuit& routed,
+                               const std::vector<int>& logical);
+
+}  // namespace qfab

@@ -1,0 +1,23 @@
+#include "transpile/transpile.h"
+
+namespace qfab {
+
+TranspileReport transpile(const QuantumCircuit& qc,
+                          const TranspileOptions& options) {
+  TranspileReport report;
+  report.circuit = decompose_to_basis(qc);
+  if (options.optimization_level >= 1) {
+    OptimizeOptions opt;
+    opt.commute = options.optimization_level >= 2;
+    report.optimize = optimize_basis_circuit(report.circuit, opt);
+  }
+  report.counts = report.circuit.counts();
+  return report;
+}
+
+QuantumCircuit transpile_to_basis(const QuantumCircuit& qc,
+                                  int optimization_level) {
+  return transpile(qc, {optimization_level}).circuit;
+}
+
+}  // namespace qfab

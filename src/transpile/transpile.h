@@ -1,0 +1,34 @@
+// Transpilation entry point: abstract circuit -> IBM basis circuit,
+// optionally peephole-optimized (level 1 ~ the paper's Qiskit settings).
+#pragma once
+
+#include "circuit/circuit.h"
+#include "transpile/decompose.h"
+#include "transpile/optimize.h"
+
+namespace qfab {
+
+struct TranspileOptions {
+  /// 0 = decompose only;
+  /// 1 = Qiskit-0.31-compatible peephole (literal-adjacency RZ merges and
+  ///     CX cancellation) — reproduces the paper's Table I counts;
+  /// 2 = aggressive (commutation-aware) peephole.
+  int optimization_level = 1;
+};
+
+struct TranspileReport {
+  QuantumCircuit circuit;
+  GateCounts counts;          // of the final circuit
+  OptimizeStats optimize;     // zeroes at level 0
+};
+
+/// Decompose `qc` into {id, x, sx, rz, cx} and optimize per options.
+/// The result is unitarily identical to `qc` (global phase included).
+TranspileReport transpile(const QuantumCircuit& qc,
+                          const TranspileOptions& options = {});
+
+/// Shorthand returning just the circuit.
+QuantumCircuit transpile_to_basis(const QuantumCircuit& qc,
+                                  int optimization_level = 1);
+
+}  // namespace qfab

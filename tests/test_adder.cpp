@@ -1,0 +1,226 @@
+// QFA correctness: exhaustive classical-input checks (modular and
+// non-modular), subtraction, constant addition, controlled addition,
+// superposition linearity, and the approximate-addition knobs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/qint.h"
+#include "qfb/adder.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+namespace {
+
+/// Run the adder on computational-basis inputs and return the measured
+/// (deterministic) y value. Checks x is preserved.
+u64 run_classical_add(int n, int m, u64 x, u64 y, const AdderOptions& opt) {
+  const QuantumCircuit qc = make_qfa(n, m, opt);
+  StateVector sv(n + m);
+  sv.set_basis_state(x | (y << n));
+  sv.apply_circuit(qc);
+  // The state must be a single basis state again.
+  u64 best = 0;
+  double best_p = -1.0;
+  const auto probs = sv.probabilities();
+  for (u64 i = 0; i < probs.size(); ++i)
+    if (probs[i] > best_p) {
+      best_p = probs[i];
+      best = i;
+    }
+  EXPECT_NEAR(best_p, 1.0, 1e-9);
+  EXPECT_EQ(best & (pow2(n) - 1), x) << "x register was modified";
+  return best >> n;
+}
+
+TEST(Adder, ExhaustiveModular3Bit) {
+  const u64 N = 8;
+  for (u64 x = 0; x < N; ++x)
+    for (u64 y = 0; y < N; ++y)
+      EXPECT_EQ(run_classical_add(3, 3, x, y, {}), (x + y) % N)
+          << x << "+" << y;
+}
+
+TEST(Adder, ExhaustiveNonModular3Bit) {
+  // m = n+1: sums up to 2^{n+1}-2 fit exactly (paper's Fig. 2 layout).
+  for (u64 x = 0; x < 8; ++x)
+    for (u64 y = 0; y < 8; ++y)
+      EXPECT_EQ(run_classical_add(3, 4, x, y, {}), x + y);
+}
+
+TEST(Adder, ExhaustiveModular4Bit) {
+  for (u64 x = 0; x < 16; ++x)
+    for (u64 y = 0; y < 16; ++y)
+      EXPECT_EQ(run_classical_add(4, 4, x, y, {}), (x + y) % 16);
+}
+
+TEST(Adder, SubtractionExhaustive3Bit) {
+  AdderOptions opt;
+  opt.subtract = true;
+  for (u64 x = 0; x < 8; ++x)
+    for (u64 y = 0; y < 8; ++y)
+      EXPECT_EQ(run_classical_add(3, 3, x, y, opt), (y + 8 - x) % 8);
+}
+
+TEST(Adder, SignedSemanticsViaTwosComplement) {
+  // (-2) + 3 = 1 on 4 bits: x = encode(-2) = 14, y = 3 -> 17 mod 16 = 1.
+  const u64 x = QInt::encode(-2, 4);
+  EXPECT_EQ(run_classical_add(4, 4, x, 3, {}), 1u);
+  // (-3) + (-4) = -7 -> encode(-7, 4) = 9.
+  EXPECT_EQ(run_classical_add(4, 4, QInt::encode(-3, 4), QInt::encode(-4, 4),
+                              {}),
+            QInt::encode(-7, 4));
+}
+
+TEST(Adder, AqftDepthStillExactOnBasisStates) {
+  // The AQFT changes the transform basis but, for single-integer inputs at
+  // d >= 1... not exactly: truncation breaks exactness in general. But the
+  // roundtrip QFT_d then QFT_d^{-1} with the same d plus exact add keeps
+  // classical sums *approximately*; here we only check the full-depth
+  // equivalence of explicit and sentinel depth.
+  AdderOptions full_sentinel;
+  AdderOptions full_explicit;
+  full_explicit.qft_depth = 2;  // m=3 -> full depth = 2
+  for (u64 x = 0; x < 8; ++x)
+    for (u64 y = 0; y < 8; ++y)
+      EXPECT_EQ(run_classical_add(3, 3, x, y, full_explicit),
+                run_classical_add(3, 3, x, y, full_sentinel));
+}
+
+TEST(Adder, ConstantAdditionExhaustive) {
+  for (std::int64_t c : {0L, 1L, 5L, 15L, -1L, -7L}) {
+    QuantumCircuit qc(0);
+    const QubitRange y = qc.add_register("y", 4);
+    append_qfa_const(qc, range_qubits(y), c);
+    for (u64 yv = 0; yv < 16; ++yv) {
+      StateVector sv(4);
+      sv.set_basis_state(yv);
+      sv.apply_circuit(qc);
+      const u64 expected = (yv + QInt::encode(c, 4)) % 16;
+      EXPECT_NEAR(std::norm(sv.amplitude(expected)), 1.0, 1e-9)
+          << "y=" << yv << " c=" << c;
+    }
+  }
+}
+
+TEST(Adder, ConstantSubtraction) {
+  QuantumCircuit qc(0);
+  const QubitRange y = qc.add_register("y", 3);
+  append_qfa_const(qc, range_qubits(y), 3, {kFullDepth, 0, 0, true});
+  StateVector sv(3);
+  sv.set_basis_state(1);
+  sv.apply_circuit(qc);
+  EXPECT_NEAR(std::norm(sv.amplitude((1 + 8 - 3) % 8)), 1.0, 1e-9);
+}
+
+TEST(Adder, ControlledAdditionViaControlledOn) {
+  // Build QFA on (x,y) plus a control qubit; check both control values.
+  const int n = 3;
+  QuantumCircuit sub(2 * n + 1);
+  std::vector<int> xq = {0, 1, 2}, yq = {3, 4, 5};
+  append_qfa(sub, xq, yq);
+  const QuantumCircuit cqfa = sub.controlled_on(6);
+
+  for (u64 control : {u64{0}, u64{1}}) {
+    StateVector sv(2 * n + 1);
+    const u64 x = 5, y = 6;
+    sv.set_basis_state(x | (y << n) | (control << (2 * n)));
+    sv.apply_circuit(cqfa);
+    const u64 expected_y = control ? (x + y) % 8 : y;
+    const u64 expected = x | (expected_y << n) | (control << (2 * n));
+    EXPECT_NEAR(std::norm(sv.amplitude(expected)), 1.0, 1e-9)
+        << "control=" << control;
+  }
+}
+
+TEST(Adder, SuperpositionProducesAllSums) {
+  // x = (|1> + |2>)/√2, y = (|3> + |4>)/√2 on 3-bit modular adder:
+  // final y ⊗ x state holds the four sums with weight 1/4 each,
+  // entangled with the x register.
+  const int n = 3;
+  const QuantumCircuit qc = make_qfa(n, n, {});
+  const QInt x = QInt::uniform(n, {1, 2});
+  const QInt y = QInt::uniform(n, {3, 4});
+  StateVector sv = prepare_product_state(
+      2 * n, {{QubitRange{0, n}, x}, {QubitRange{n, n}, y}});
+  sv.apply_circuit(qc);
+  const auto joint = sv.probabilities();
+  // Probability of (x=xi, y=xi+yi) should be 1/4 for each pair.
+  for (u64 xi : {1, 2})
+    for (u64 yi : {3, 4}) {
+      const u64 idx = xi | (((xi + yi) % 8) << n);
+      EXPECT_NEAR(joint[idx], 0.25, 1e-9);
+    }
+  // Marginal over y: sums 4,5,6 with weights 1/4, 1/2, 1/4.
+  const auto marg = sv.marginal_probabilities({3, 4, 5});
+  EXPECT_NEAR(marg[4], 0.25, 1e-9);
+  EXPECT_NEAR(marg[5], 0.50, 1e-9);
+  EXPECT_NEAR(marg[6], 0.25, 1e-9);
+}
+
+TEST(Adder, PhaseAddWithoutQftIsPhaseOnly) {
+  // append_phase_add alone must not change measurement probabilities in
+  // the computational basis (all rotations are diagonal).
+  QuantumCircuit qc(6);
+  append_phase_add(qc, {0, 1, 2}, {3, 4, 5});
+  StateVector sv(6);
+  sv.set_basis_state(0b101011);
+  sv.apply_circuit(qc);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b101011)), 1.0, 1e-12);
+}
+
+TEST(Adder, RotationCountFormulas) {
+  // Modular n=m=8: 36 rotations; the paper's capped variant drops R_8.
+  EXPECT_EQ(adder_rotation_count(8, 8, {}), 36u);
+  AdderOptions capped;
+  capped.max_rotation_order = 7;
+  EXPECT_EQ(adder_rotation_count(8, 8, capped), 35u);
+  // Non-modular Fig. 2 layout (n=8 -> m=9): 44 rotations.
+  EXPECT_EQ(adder_rotation_count(8, 9, {}), 44u);
+  // Approximate addition at depth d keeps R_l with l-1 <= d.
+  AdderOptions approx;
+  approx.add_depth = 1;
+  // l in {1,2} only: q-j+1 <= 2 -> for each q, at most 2 of its rotations.
+  EXPECT_EQ(adder_rotation_count(8, 8, approx), 15u);  // 1 + 2*7
+}
+
+TEST(Adder, CircuitMatchesRotationCount) {
+  for (int cap : {0, 7}) {
+    AdderOptions opt;
+    opt.max_rotation_order = cap;
+    QuantumCircuit qc(16);
+    std::vector<int> xq, yq;
+    for (int i = 0; i < 8; ++i) xq.push_back(i);
+    for (int i = 8; i < 16; ++i) yq.push_back(i);
+    append_phase_add(qc, xq, yq, opt);
+    EXPECT_EQ(qc.gates().size(), adder_rotation_count(8, 8, opt));
+  }
+}
+
+TEST(Adder, MaxRotationCapPreservesClassicalSums) {
+  // Dropping R_n (angle 2π/2^n) perturbs amplitudes negligibly for n=4:
+  // classical sums still decode exactly as the argmax outcome.
+  AdderOptions capped;
+  capped.max_rotation_order = 3;
+  for (u64 x = 0; x < 16; ++x)
+    for (u64 y = 0; y < 16; ++y) {
+      const QuantumCircuit qc = make_qfa(4, 4, capped);
+      StateVector sv(8);
+      sv.set_basis_state(x | (y << 4));
+      sv.apply_circuit(qc);
+      const auto marg = sv.marginal_probabilities({4, 5, 6, 7});
+      u64 best = 0;
+      for (u64 i = 1; i < 16; ++i)
+        if (marg[i] > marg[best]) best = i;
+      EXPECT_EQ(best, (x + y) % 16);
+    }
+}
+
+TEST(Adder, InputValidation) {
+  QuantumCircuit qc(4);
+  EXPECT_THROW(append_phase_add(qc, {0, 1, 2}, {3}), CheckError);  // |y|<|x|
+  EXPECT_THROW(make_qfa(0, 1, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace qfab

@@ -1,0 +1,175 @@
+// Algebraic property tests for the Fourier-basis adder: group structure
+// (composition, inverses, commutativity), linearity over superpositions,
+// and entanglement with a superposed control — the properties that make
+// QFA usable as a subroutine rather than a demo.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/qint.h"
+#include "qfb/adder.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+namespace {
+
+constexpr int kN = 3;  // 3-bit registers, modular arithmetic mod 8
+
+/// Constant-adder circuit on a lone register.
+QuantumCircuit const_add_circuit(std::int64_t c) {
+  QuantumCircuit qc(kN);
+  append_qfa_const(qc, {0, 1, 2}, c);
+  return qc;
+}
+
+u64 argmax(const std::vector<double>& p) {
+  u64 best = 0;
+  for (u64 i = 1; i < p.size(); ++i)
+    if (p[i] > p[best]) best = i;
+  return best;
+}
+
+TEST(AdderAlgebra, ConstAddsCompose) {
+  // add(a) ∘ add(b) == add(a+b) for every basis state.
+  for (std::int64_t a : {1, 3, 5})
+    for (std::int64_t b : {2, 6, 7}) {
+      QuantumCircuit two(kN);
+      two.compose(const_add_circuit(a));
+      two.compose(const_add_circuit(b));
+      const QuantumCircuit one = const_add_circuit(a + b);
+      for (u64 y = 0; y < 8; ++y) {
+        StateVector s1(kN), s2(kN);
+        s1.set_basis_state(y);
+        s2.set_basis_state(y);
+        s1.apply_circuit(two);
+        s2.apply_circuit(one);
+        EXPECT_EQ(argmax(s1.probabilities()), argmax(s2.probabilities()));
+      }
+    }
+}
+
+TEST(AdderAlgebra, AddThenSubtractIsIdentity) {
+  QuantumCircuit qc(2 * kN);
+  std::vector<int> x = {0, 1, 2}, y = {3, 4, 5};
+  append_qfa(qc, x, y, {});
+  AdderOptions sub;
+  sub.subtract = true;
+  append_qfa(qc, x, y, sub);
+  for (u64 v = 0; v < 64; v += 7) {
+    StateVector sv(2 * kN);
+    sv.set_basis_state(v);
+    sv.apply_circuit(qc);
+    EXPECT_NEAR(std::norm(sv.amplitude(v)), 1.0, 1e-9) << v;
+  }
+}
+
+TEST(AdderAlgebra, InverseCircuitIsSubtraction) {
+  // make_qfa(...).inverse() must equal the subtract variant on states.
+  const QuantumCircuit add = make_qfa(kN, kN, {});
+  AdderOptions opt;
+  opt.subtract = true;
+  const QuantumCircuit sub = make_qfa(kN, kN, opt);
+  const QuantumCircuit inv = add.inverse();
+  for (u64 v : {u64{5}, u64{23}, u64{42}, u64{63}}) {
+    StateVector a(2 * kN), b(2 * kN);
+    a.set_basis_state(v);
+    b.set_basis_state(v);
+    a.apply_circuit(inv);
+    b.apply_circuit(sub);
+    EXPECT_EQ(argmax(a.probabilities()), argmax(b.probabilities()));
+  }
+}
+
+TEST(AdderAlgebra, DisjointAddsCommute) {
+  // Adds into disjoint target registers commute exactly.
+  QuantumCircuit ab(9), ba(9);
+  std::vector<int> x = {0, 1, 2}, y1 = {3, 4, 5}, y2 = {6, 7, 8};
+  append_qfa(ab, x, y1, {});
+  append_qfa(ab, x, y2, {});
+  append_qfa(ba, x, y2, {});
+  append_qfa(ba, x, y1, {});
+  StateVector s1(9), s2(9);
+  const u64 init = 3 | (1 << 3) | (6 << 6);
+  s1.set_basis_state(init);
+  s2.set_basis_state(init);
+  s1.apply_circuit(ab);
+  s2.apply_circuit(ba);
+  const auto p1 = s1.probabilities();
+  const auto p2 = s2.probabilities();
+  for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_NEAR(p1[i], p2[i], 1e-10);
+}
+
+TEST(AdderAlgebra, LinearOverTargetSuperposition) {
+  // add(x) applied to y in superposition adds into every branch.
+  const QuantumCircuit qc = make_qfa(kN, kN, {});
+  StateVector sv = prepare_product_state(
+      2 * kN, {{QubitRange{0, kN}, QInt::classical(kN, 3)},
+               {QubitRange{kN, kN}, QInt::uniform(kN, {0, 2, 5})}});
+  sv.apply_circuit(qc);
+  const auto marg = sv.marginal_probabilities({3, 4, 5});
+  EXPECT_NEAR(marg[3], 1.0 / 3, 1e-9);
+  EXPECT_NEAR(marg[5], 1.0 / 3, 1e-9);
+  EXPECT_NEAR(marg[0], 1.0 / 3, 1e-9);  // 5+3 = 8 ≡ 0
+}
+
+TEST(AdderAlgebra, SuperposedControlCreatesEntanglement) {
+  // Control in |+>: (|0>|y> + |1>|y+x>)/√2 — the controlled adder must
+  // entangle the control with the target.
+  const int total = 2 * kN + 1;
+  QuantumCircuit sub(total);
+  append_qfa(sub, {0, 1, 2}, {3, 4, 5}, {});
+  const QuantumCircuit cadd = sub.controlled_on(6);
+
+  StateVector sv(total);
+  sv.set_basis_state(2 | (3 << 3));  // x=2, y=3
+  sv.apply_gate(make_gate1(GateKind::kH, 6));
+  sv.apply_circuit(cadd);
+
+  // Joint distribution of (control, y): only (0, 3) and (1, 5).
+  const auto joint = sv.marginal_probabilities({6, 3, 4, 5});
+  EXPECT_NEAR(joint[0b0110], 0.5, 1e-9);  // control=0, y=3
+  EXPECT_NEAR(joint[0b1011], 0.5, 1e-9);  // control=1, y=5
+  // Control marginal stays unbiased.
+  const auto ctrl = sv.marginal_probabilities({6});
+  EXPECT_NEAR(ctrl[0], 0.5, 1e-9);
+}
+
+TEST(AdderAlgebra, PhaseCoherencePreserved) {
+  // The adder must preserve relative phases of the target superposition:
+  // applying add(0) (identity values) to any state leaves it unchanged,
+  // including phases.
+  const QuantumCircuit qc = make_qfa(kN, kN, {});
+  const QInt y = QInt::superposition(
+      kN, {{1, cplx{0.6, 0.0}}, {4, cplx{0.0, 0.8}}});
+  StateVector sv = prepare_product_state(
+      2 * kN, {{QubitRange{0, kN}, QInt::classical(kN, 0)},
+               {QubitRange{kN, kN}, y}});
+  const StateVector before = sv;
+  sv.apply_circuit(qc);
+  double dist = 0.0;
+  for (u64 i = 0; i < sv.dim(); ++i)
+    dist += std::norm(sv.amplitude(i) - before.amplitude(i));
+  EXPECT_LT(std::sqrt(dist), 1e-9);
+}
+
+TEST(AdderAlgebra, ConstAndRegisterAddersAgree) {
+  // Adding a classical constant c must equal adding a register holding c.
+  for (std::int64_t c : {0, 1, 4, 7}) {
+    const QuantumCircuit reg_add = make_qfa(kN, kN, {});
+    const QuantumCircuit const_add = const_add_circuit(c);
+    for (u64 y = 0; y < 8; ++y) {
+      StateVector a(2 * kN);
+      a.set_basis_state(static_cast<u64>(c) | (y << kN));
+      a.apply_circuit(reg_add);
+      StateVector b(kN);
+      b.set_basis_state(y);
+      b.apply_circuit(const_add);
+      const auto ya = argmax(a.marginal_probabilities({3, 4, 5}));
+      const auto yb = argmax(b.probabilities());
+      EXPECT_EQ(ya, yb) << "c=" << c << " y=" << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qfab

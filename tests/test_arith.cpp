@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/expected.h"
+#include "arith/qint.h"
+#include "arith/stateprep.h"
+#include "common/rng.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+namespace {
+
+TEST(QIntEncoding, TwosComplementRoundTrip) {
+  for (int bits : {1, 4, 8}) {
+    const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+    const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+    for (std::int64_t v = lo; v <= hi; ++v)
+      EXPECT_EQ(QInt::decode_signed(QInt::encode(v, bits), bits), v);
+  }
+}
+
+TEST(QIntEncoding, KnownValues) {
+  EXPECT_EQ(QInt::encode(-1, 4), 15u);
+  EXPECT_EQ(QInt::encode(-8, 4), 8u);
+  EXPECT_EQ(QInt::encode(7, 4), 7u);
+  EXPECT_EQ(QInt::encode(16, 4), 0u);   // wraps
+  EXPECT_EQ(QInt::encode(-9, 4), 7u);   // wraps
+  EXPECT_EQ(QInt::decode_signed(15, 4), -1);
+  EXPECT_EQ(QInt::decode_signed(8, 4), -8);
+}
+
+TEST(QInt, ClassicalOrderOne) {
+  const QInt q = QInt::classical(4, 11);
+  EXPECT_EQ(q.order(), 1);
+  EXPECT_EQ(q.support(), std::vector<u64>{11});
+  EXPECT_NEAR(std::abs(q.terms()[0].amplitude), 1.0, 1e-12);
+}
+
+TEST(QInt, UniformAmplitudes) {
+  const QInt q = QInt::uniform(4, {3, 7, 12});
+  EXPECT_EQ(q.order(), 3);
+  for (const auto& t : q.terms())
+    EXPECT_NEAR(std::norm(t.amplitude), 1.0 / 3.0, 1e-12);
+}
+
+TEST(QInt, SuperpositionNormalizes) {
+  const QInt q = QInt::superposition(
+      3, {{1, cplx{3.0, 0.0}}, {2, cplx{0.0, 4.0}}});
+  EXPECT_NEAR(std::norm(q.terms()[0].amplitude), 9.0 / 25.0, 1e-12);
+  EXPECT_NEAR(std::norm(q.terms()[1].amplitude), 16.0 / 25.0, 1e-12);
+}
+
+TEST(QInt, RejectsDuplicatesAndRange) {
+  EXPECT_THROW(QInt::uniform(3, {1, 1}), CheckError);
+  EXPECT_NO_THROW(QInt::uniform(3, {7}));
+  EXPECT_EQ(QInt::uniform(3, {9}).support()[0], 1u);  // 9 mod 8
+}
+
+TEST(QInt, AmplitudeVector) {
+  const QInt q = QInt::uniform(2, {0, 3});
+  const auto amps = q.amplitudes();
+  ASSERT_EQ(amps.size(), 4u);
+  EXPECT_NEAR(std::norm(amps[0]), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(amps[3]), 0.5, 1e-12);
+  EXPECT_EQ(amps[1], cplx(0.0, 0.0));
+}
+
+TEST(ProductState, TwoRegistersWithPadding) {
+  // x=|2> on bits [0,2), y=(|1>+|3>)/√2 on bits [2,4), one padding qubit.
+  const StateVector sv = prepare_product_state(
+      5, {{QubitRange{0, 2}, QInt::classical(2, 2)},
+          {QubitRange{2, 2}, QInt::uniform(2, {1, 3})}});
+  EXPECT_NEAR(std::norm(sv.amplitude(0b00110)), 0.5, 1e-12);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b01110)), 0.5, 1e-12);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(ProductState, EntangledAmplitudeProducts) {
+  const QInt a = QInt::superposition(1, {{0, cplx{0.6, 0.0}},
+                                         {1, cplx{0.8, 0.0}}});
+  const QInt b = QInt::superposition(1, {{0, cplx{0.0, 0.6}},
+                                         {1, cplx{0.8, 0.0}}});
+  const StateVector sv = prepare_product_state(
+      2, {{QubitRange{0, 1}, a}, {QubitRange{1, 1}, b}});
+  EXPECT_NEAR(std::norm(sv.amplitude(0b00)), 0.36 * 0.36, 1e-12);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b11)), 0.64 * 0.64, 1e-12);
+}
+
+TEST(ProductState, RejectsOverlapAndMismatch) {
+  EXPECT_THROW(prepare_product_state(
+                   3, {{QubitRange{0, 2}, QInt::classical(2, 1)},
+                       {QubitRange{1, 2}, QInt::classical(2, 1)}}),
+               CheckError);
+  EXPECT_THROW(prepare_product_state(
+                   3, {{QubitRange{0, 2}, QInt::classical(3, 1)}}),
+               CheckError);
+}
+
+// ---------- state preparation circuits ----------
+
+std::vector<cplx> random_target(int n, Pcg64& rng) {
+  std::vector<cplx> amps(pow2(n));
+  double norm = 0.0;
+  for (cplx& a : amps) {
+    a = cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+    norm += std::norm(a);
+  }
+  for (cplx& a : amps) a /= std::sqrt(norm);
+  return amps;
+}
+
+TEST(Multiplexor, SingleControlBranches) {
+  // UCRY with one control: angle a0 when control=0, a1 when control=1.
+  QuantumCircuit qc(2);
+  append_multiplexed_rotation(qc, {1}, 0, {0.4, 1.3}, 'y');
+  for (int c = 0; c < 2; ++c) {
+    StateVector sv(2);
+    sv.set_basis_state(static_cast<u64>(c) << 1);
+    sv.apply_circuit(qc);
+    const double angle = c ? 1.3 : 0.4;
+    EXPECT_NEAR(std::abs(sv.amplitude(u64(c) << 1)), std::cos(angle / 2),
+                1e-10);
+    EXPECT_NEAR(std::abs(sv.amplitude((u64(c) << 1) | 1)),
+                std::sin(angle / 2), 1e-10);
+  }
+}
+
+TEST(Multiplexor, TwoControlSelectsAngleByValue) {
+  const std::vector<double> angles = {0.2, 0.9, 1.7, 2.4};
+  QuantumCircuit qc(3);
+  append_multiplexed_rotation(qc, {1, 2}, 0, angles, 'y');
+  for (u64 c = 0; c < 4; ++c) {
+    StateVector sv(3);
+    sv.set_basis_state(c << 1);
+    sv.apply_circuit(qc);
+    EXPECT_NEAR(std::abs(sv.amplitude(c << 1)), std::cos(angles[c] / 2),
+                1e-10)
+        << "control " << c;
+  }
+}
+
+TEST(Multiplexor, RzAxisPhases) {
+  QuantumCircuit qc(2);
+  append_multiplexed_rotation(qc, {1}, 0, {0.6, -1.0}, 'z');
+  // Prepare (|0>+|1>)/√2 ⊗ |1> on (target, control) and check phases.
+  StateVector sv(2);
+  sv.apply_gate(make_gate1(GateKind::kH, 0));
+  sv.apply_gate(make_gate1(GateKind::kX, 1));
+  sv.apply_circuit(qc);
+  const double rel =
+      std::arg(sv.amplitude(0b11)) - std::arg(sv.amplitude(0b10));
+  EXPECT_NEAR(rel, -1.0, 1e-10);
+}
+
+class StatePrep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatePrep, PreparesRandomStatesExactly) {
+  const int n = GetParam();
+  Pcg64 rng(1000 + static_cast<std::uint64_t>(n));
+  for (int rep = 0; rep < 4; ++rep) {
+    const std::vector<cplx> target = random_target(n, rng);
+    QuantumCircuit qc(n);
+    std::vector<int> qubits;
+    for (int i = 0; i < n; ++i) qubits.push_back(i);
+    append_state_preparation(qc, qubits, target);
+
+    StateVector sv(n);
+    sv.apply_circuit(qc);
+    double dist = 0.0;
+    for (u64 i = 0; i < pow2(n); ++i)
+      dist += std::norm(sv.amplitude(i) - target[i]);
+    EXPECT_LT(std::sqrt(dist), 1e-8) << "n=" << n << " rep=" << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StatePrep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(StatePrepCost, SparseStatesAreCheap) {
+  // A basis state requires no rotations at all (all angles collapse).
+  QuantumCircuit qc(3);
+  std::vector<cplx> target(8, cplx{0.0, 0.0});
+  target[0] = 1.0;
+  append_state_preparation(qc, {0, 1, 2}, target);
+  EXPECT_TRUE(qc.gates().empty());
+}
+
+TEST(StatePrep, PreparesQIntOperands) {
+  // The paper's operands: uniform order-2 qintegers.
+  const QInt q = QInt::uniform(3, {2, 5});
+  QuantumCircuit qc(3);
+  append_state_preparation(qc, {0, 1, 2}, q.amplitudes());
+  StateVector sv(3);
+  sv.apply_circuit(qc);
+  EXPECT_NEAR(std::norm(sv.amplitude(2)), 0.5, 1e-10);
+  EXPECT_NEAR(std::norm(sv.amplitude(5)), 0.5, 1e-10);
+}
+
+// ---------- expected outputs ----------
+
+TEST(Expected, SumsModulo) {
+  const QInt x = QInt::uniform(3, {6, 7});
+  const QInt y = QInt::classical(3, 3);
+  const auto sums = expected_sums(x, y, 3);
+  // 6+3=9≡1, 7+3=10≡2.
+  EXPECT_EQ(sums, (std::vector<u64>{1, 2}));
+}
+
+TEST(Expected, SumsCollide) {
+  const QInt x = QInt::uniform(3, {1, 2});
+  const QInt y = QInt::uniform(3, {4, 5});
+  const auto sums = expected_sums(x, y, 3);
+  // {5,6,6,7} -> {5,6,7}.
+  EXPECT_EQ(sums, (std::vector<u64>{5, 6, 7}));
+}
+
+TEST(Expected, Differences) {
+  const QInt x = QInt::classical(3, 5);
+  const QInt y = QInt::classical(3, 2);
+  // y - x = -3 ≡ 5 (mod 8).
+  EXPECT_EQ(expected_differences(x, y, 3), std::vector<u64>{5});
+}
+
+TEST(Expected, ProductsWide) {
+  const QInt x = QInt::uniform(4, {3, 5});
+  const QInt y = QInt::uniform(4, {7, 11});
+  const auto prods = expected_products(x, y, 8);
+  EXPECT_EQ(prods, (std::vector<u64>{21, 33, 35, 55}));
+}
+
+}  // namespace
+}  // namespace qfab

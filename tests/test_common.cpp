@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/bits.h"
+#include "common/cli.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace qfab {
+namespace {
+
+// ---------- bits ----------
+
+TEST(Bits, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(1), 2u);
+  EXPECT_EQ(pow2(16), 65536u);
+  EXPECT_EQ(pow2(63), u64{1} << 63);
+  EXPECT_THROW(pow2(64), CheckError);
+  EXPECT_THROW(pow2(-1), CheckError);
+}
+
+TEST(Bits, GetSetClearFlip) {
+  EXPECT_EQ(get_bit(0b1010, 1), 1);
+  EXPECT_EQ(get_bit(0b1010, 0), 0);
+  EXPECT_EQ(set_bit(0b1010, 0), 0b1011u);
+  EXPECT_EQ(clear_bit(0b1010, 1), 0b1000u);
+  EXPECT_EQ(flip_bit(0b1010, 3), 0b0010u);
+  EXPECT_EQ(flip_bit(0b1010, 2), 0b1110u);
+}
+
+TEST(Bits, InsertZeroBit) {
+  // Inserting at position 0 shifts everything left.
+  EXPECT_EQ(insert_zero_bit(0b111, 0), 0b1110u);
+  // Inserting at position 1 keeps bit 0.
+  EXPECT_EQ(insert_zero_bit(0b111, 1), 0b1101u);
+  EXPECT_EQ(insert_zero_bit(0b111, 3), 0b0111u);
+  // Enumerating g in [0, 2^{n-1}) with a zero inserted at q yields every
+  // index with bit q clear, exactly once.
+  const int n = 5, q = 2;
+  std::set<u64> seen;
+  for (u64 g = 0; g < pow2(n - 1); ++g) {
+    const u64 i = insert_zero_bit(g, q);
+    EXPECT_EQ(get_bit(i, q), 0);
+    seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), pow2(n - 1));
+}
+
+TEST(Bits, InsertTwoZeroBits) {
+  const int n = 6, b1 = 1, b2 = 4;
+  std::set<u64> seen;
+  for (u64 g = 0; g < pow2(n - 2); ++g) {
+    const u64 i = insert_two_zero_bits(g, b1, b2);
+    EXPECT_EQ(get_bit(i, b1), 0);
+    EXPECT_EQ(get_bit(i, b2), 0);
+    seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), pow2(n - 2));
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101u);
+  for (u64 x = 0; x < 32; ++x)
+    EXPECT_EQ(reverse_bits(reverse_bits(x, 5), 5), x);
+}
+
+// ---------- rng ----------
+
+TEST(Rng, DeterministicStreams) {
+  Pcg64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  Pcg64 c(43);
+  bool differs = false;
+  Pcg64 a2(42);
+  for (int i = 0; i < 10; ++i) differs |= (a2() != c());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Pcg64 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntRangeAndMean) {
+  Pcg64 rng(11);
+  std::vector<int> hist(10, 0);
+  for (int i = 0; i < 50000; ++i) ++hist[rng.uniform_int(10)];
+  for (int h : hist) EXPECT_NEAR(h, 5000, 500);
+}
+
+TEST(Rng, SplitIndependence) {
+  Pcg64 root(5);
+  Pcg64 a = root.split(1);
+  Pcg64 b = root.split(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BinomialMoments) {
+  Pcg64 rng(13);
+  // Small-mean branch.
+  {
+    double sum = 0.0;
+    const int reps = 20000;
+    for (int i = 0; i < reps; ++i)
+      sum += static_cast<double>(binomial(rng, 100, 0.05));
+    EXPECT_NEAR(sum / reps, 5.0, 0.1);
+  }
+  // Normal-approximation branch.
+  {
+    double sum = 0.0, sq = 0.0;
+    const int reps = 20000;
+    for (int i = 0; i < reps; ++i) {
+      const double k = static_cast<double>(binomial(rng, 2048, 0.5));
+      sum += k;
+      sq += k * k;
+    }
+    const double mean = sum / reps;
+    const double var = sq / reps - mean * mean;
+    EXPECT_NEAR(mean, 1024.0, 2.0);
+    EXPECT_NEAR(var, 512.0, 40.0);
+  }
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Pcg64 rng(17);
+  EXPECT_EQ(binomial(rng, 0, 0.5), 0u);
+  EXPECT_EQ(binomial(rng, 100, 0.0), 0u);
+  EXPECT_EQ(binomial(rng, 100, 1.0), 100u);
+  EXPECT_THROW(binomial(rng, 10, 1.5), CheckError);
+}
+
+TEST(Rng, MultinomialConservesTrials) {
+  Pcg64 rng(19);
+  const std::vector<double> probs = {0.5, 0.25, 0.125, 0.125};
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto counts = multinomial(rng, 2048, probs);
+    std::uint64_t total = 0;
+    for (auto c : counts) total += c;
+    ASSERT_EQ(total, 2048u);
+  }
+}
+
+TEST(Rng, MultinomialMeans) {
+  Pcg64 rng(23);
+  const std::vector<double> probs = {0.7, 0.2, 0.1};
+  std::vector<double> sums(3, 0.0);
+  const int reps = 2000;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto counts = multinomial(rng, 1000, probs);
+    for (int i = 0; i < 3; ++i) sums[i] += static_cast<double>(counts[i]);
+  }
+  EXPECT_NEAR(sums[0] / reps, 700.0, 5.0);
+  EXPECT_NEAR(sums[1] / reps, 200.0, 5.0);
+  EXPECT_NEAR(sums[2] / reps, 100.0, 5.0);
+}
+
+TEST(Rng, MultinomialUnnormalizedProbs) {
+  Pcg64 rng(27);
+  // Scaling all probabilities must not change the law.
+  const auto counts = multinomial(rng, 10000, {2.0, 2.0});
+  EXPECT_NEAR(static_cast<double>(counts[0]), 5000.0, 300.0);
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Pcg64 rng(31);
+  // Dense branch.
+  const auto dense = sample_without_replacement(rng, 10, 8);
+  EXPECT_EQ(dense.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(dense.begin(), dense.end()));
+  EXPECT_EQ(std::set<std::uint64_t>(dense.begin(), dense.end()).size(), 8u);
+  // Sparse branch.
+  const auto sparse = sample_without_replacement(rng, 1000000, 5);
+  EXPECT_EQ(std::set<std::uint64_t>(sparse.begin(), sparse.end()).size(), 5u);
+  // Full draw is a permutation of [0, n).
+  const auto all = sample_without_replacement(rng, 6, 6);
+  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(all[i], i);
+}
+
+// ---------- parallel ----------
+
+TEST(Parallel, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// ---------- cli ----------
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog",       "--alpha=3",  "--beta", "2.5",
+                        "--gamma",    "--no-delta", "--list=1,2,3"};
+  CliFlags flags(7, argv);
+  EXPECT_EQ(flags.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.get_double("beta", 0.0), 2.5);
+  EXPECT_TRUE(flags.get_bool("gamma", false));
+  EXPECT_FALSE(flags.get_bool("delta", true));
+  const auto list = flags.get_int_list("list", {});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[2], 3);
+  EXPECT_EQ(flags.get_string("missing", "def"), "def");
+  EXPECT_TRUE(flags.validate());
+}
+
+TEST(Cli, RejectsBadValues) {
+  const char* argv[] = {"prog", "--x=abc"};
+  CliFlags flags(2, argv);
+  EXPECT_THROW(flags.get_int("x", 0), CheckError);
+}
+
+TEST(Cli, ValidateFlagsUnknown) {
+  const char* argv[] = {"prog", "--typo=1"};
+  CliFlags flags(2, argv);
+  flags.get_int("real", 0);
+  EXPECT_FALSE(flags.validate());
+}
+
+TEST(Cli, DoubleListParsing) {
+  const char* argv[] = {"prog", "--rates=0.1,0.2,0.5"};
+  CliFlags flags(2, argv);
+  const auto rates = flags.get_double_list("rates", {});
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[1], 0.2);
+}
+
+// ---------- table ----------
+
+TEST(Table, AlignmentAndRows) {
+  TextTable t({"a", "long_header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.5, 1), "50.0");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace qfab

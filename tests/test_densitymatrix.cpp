@@ -1,0 +1,209 @@
+// Exact density-matrix backend, and the cross-validation that anchors the
+// entire noise stack: the Pauli-trajectory estimator must converge to the
+// exact channel marginal.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/densitymatrix.h"
+#include "noise/estimator.h"
+#include "qfb/adder.h"
+#include "transpile/transpile.h"
+
+namespace qfab {
+namespace {
+
+QuantumCircuit bell_plus(int n) {
+  QuantumCircuit qc(n);
+  qc.h(0);
+  for (int i = 1; i < n; ++i) qc.cx(i - 1, i);
+  return qc;
+}
+
+double tv_distance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+  return d / 2.0;
+}
+
+TEST(DensityMatrix, InitialStatePure) {
+  DensityMatrix dm(3);
+  EXPECT_NEAR(dm.trace(), 1.0, 1e-12);
+  EXPECT_NEAR(dm.purity(), 1.0, 1e-12);
+  EXPECT_EQ(dm.at(0, 0), cplx(1.0, 0.0));
+  EXPECT_EQ(dm.at(1, 1), cplx(0.0, 0.0));
+}
+
+TEST(DensityMatrix, FromStatevector) {
+  StateVector sv(2);
+  sv.apply_gate(make_gate1(GateKind::kH, 0));
+  const DensityMatrix dm = DensityMatrix::from_statevector(sv);
+  EXPECT_NEAR(dm.at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(dm.at(0, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(dm.purity(), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStatevector) {
+  Pcg64 rng(1);
+  for (int rep = 0; rep < 5; ++rep) {
+    QuantumCircuit qc(3);
+    for (int i = 0; i < 25; ++i) {
+      const int q = static_cast<int>(rng.uniform_int(3));
+      const int r = static_cast<int>((q + 1 + rng.uniform_int(2)) % 3);
+      switch (rng.uniform_int(5)) {
+        case 0: qc.h(q); break;
+        case 1: qc.rz(q, rng.uniform() * 6.0); break;
+        case 2: qc.sx(q); break;
+        case 3: qc.cx(q, r); break;
+        default: qc.cp(q, r, rng.uniform() * 3.0); break;
+      }
+    }
+    StateVector sv(3);
+    sv.apply_circuit(qc);
+    DensityMatrix dm(3);
+    dm.apply_circuit(qc);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-10);
+    EXPECT_NEAR(dm.purity(), 1.0, 1e-10);
+    const auto ps = sv.probabilities();
+    const auto pd = dm.probabilities();
+    EXPECT_LT(tv_distance(ps, pd), 1e-10);
+    EXPECT_NEAR(dm.fidelity(sv), 1.0, 1e-10);
+  }
+}
+
+TEST(DensityMatrix, MarginalsMatchStatevector) {
+  QuantumCircuit qc = bell_plus(4);
+  StateVector sv(4);
+  sv.apply_circuit(qc);
+  DensityMatrix dm(4);
+  dm.apply_circuit(qc);
+  for (const std::vector<int>& subset :
+       {std::vector<int>{0}, {1, 3}, {2, 0, 3}}) {
+    EXPECT_LT(tv_distance(sv.marginal_probabilities(subset),
+                          dm.marginal_probabilities(subset)),
+              1e-12);
+  }
+}
+
+TEST(DensityMatrix, FullDepolarizingMixesCompletely) {
+  DensityMatrix dm(1);
+  dm.apply_depolarizing1(0, 1.0);
+  EXPECT_NEAR(dm.at(0, 0).real(), 0.5, 1e-12);
+  EXPECT_NEAR(dm.at(1, 1).real(), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(dm.at(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(dm.purity(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingPreservesTraceReducesPurity) {
+  DensityMatrix dm(3);
+  dm.apply_circuit(bell_plus(3));
+  const double p0 = dm.purity();
+  dm.apply_depolarizing2(0, 2, 0.2);
+  EXPECT_NEAR(dm.trace(), 1.0, 1e-10);
+  EXPECT_LT(dm.purity(), p0);
+  dm.apply_depolarizing1(1, 0.3);
+  EXPECT_NEAR(dm.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, PauliChannelDephasesOffDiagonals) {
+  // Z channel with pz = 1/2 kills the |+><+| coherence entirely.
+  DensityMatrix dm(1);
+  dm.apply_gate(make_gate1(GateKind::kH, 0));
+  dm.apply_pauli_channel(0, PauliProbs{0.0, 0.0, 0.5});
+  EXPECT_NEAR(std::abs(dm.at(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(dm.at(0, 0).real(), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, ThermalChannelShrinksFidelity) {
+  const QuantumCircuit qc = bell_plus(2);
+  StateVector ideal(2);
+  ideal.apply_circuit(qc);
+  DensityMatrix dm(2);
+  dm.apply_circuit(qc);
+  dm.apply_pauli_channel(0, thermal_pauli_twirl(100.0, 60.0, 5.0));
+  const double f = dm.fidelity(ideal);
+  EXPECT_LT(f, 1.0);
+  EXPECT_GT(f, 0.8);
+}
+
+// The anchor test: exact channel vs the stratified trajectory estimator
+// and per-shot frequencies, on a real transpiled QFA circuit.
+class ExactVsTrajectories
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(ExactVsTrajectories, EstimatorConvergesToExactChannel) {
+  const auto [p1q, p2q] = GetParam();
+  const QuantumCircuit qc = transpile_to_basis(make_qfa(2, 2, {}));
+  const u64 x = 2, y = 3;
+
+  NoiseModel noise;
+  noise.p1q = p1q;
+  noise.p2q = p2q;
+
+  // Exact channel marginal.
+  DensityMatrix dm(4);
+  StateVector init(4);
+  init.set_basis_state(x | (y << 2));
+  DensityMatrix start = DensityMatrix::from_statevector(init);
+  start.apply_noisy_circuit(qc, noise);
+  const auto exact = start.marginal_probabilities({2, 3});
+
+  // Stratified estimate with a generous trajectory budget.
+  const CleanRun clean(qc, init, 16);
+  const ErrorLocations locs(qc, noise);
+  Pcg64 rng(31337);
+  const auto est =
+      estimate_channel_marginal(clean, locs, {2, 3}, {4000}, rng);
+  EXPECT_LT(tv_distance(exact, est), 0.01)
+      << "p1q=" << p1q << " p2q=" << p2q;
+
+  // Per-shot empirical frequencies.
+  Pcg64 rng2(271828);
+  const auto counts = sample_counts_per_shot(clean, locs, {2, 3}, 60000,
+                                             rng2);
+  std::vector<double> freq(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    freq[i] = static_cast<double>(counts[i]) / 60000.0;
+  EXPECT_LT(tv_distance(exact, freq), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoisePoints, ExactVsTrajectories,
+    ::testing::Values(std::pair{0.01, 0.0}, std::pair{0.0, 0.02},
+                      std::pair{0.005, 0.01}),
+    [](const auto& info) { return "case" + std::to_string(info.index); });
+
+TEST(DensityMatrix, ThermalNoisyCircuitMatchesTrajectoryAverage) {
+  // Same cross-validation for the thermal PTA channel.
+  const QuantumCircuit qc = transpile_to_basis(make_qfa(2, 2, {}));
+  NoiseModel noise;
+  noise.t1 = 200.0;
+  noise.t2 = 120.0;
+  noise.time_1q = 0.5;
+  noise.time_2q = 2.0;
+
+  StateVector init(4);
+  init.set_basis_state(1 | (2 << 2));
+  DensityMatrix dm = DensityMatrix::from_statevector(init);
+  dm.apply_noisy_circuit(qc, noise);
+  const auto exact = dm.marginal_probabilities({2, 3});
+
+  const CleanRun clean(qc, init, 16);
+  const ErrorLocations locs(qc, noise);
+  Pcg64 rng(5);
+  const auto est =
+      estimate_channel_marginal(clean, locs, {2, 3}, {4000}, rng);
+  EXPECT_LT(tv_distance(exact, est), 0.01);
+}
+
+TEST(DensityMatrix, GuardsAndValidation) {
+  EXPECT_THROW(DensityMatrix(13), CheckError);
+  DensityMatrix dm(2);
+  EXPECT_THROW(dm.apply_depolarizing1(0, 1.5), CheckError);
+  EXPECT_THROW(dm.apply_depolarizing2(1, 1, 0.1), CheckError);
+  EXPECT_THROW(dm.at(4, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace qfab

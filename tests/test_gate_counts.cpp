@@ -1,0 +1,118 @@
+// Table I reproduction (transpiled basis-gate counts of the experiment
+// circuits). The abstract-rotation accounting matches the paper exactly;
+// the transpiled 1q/2q totals are pinned here and compared against the
+// paper's numbers in bench/table1_gate_counts (see EXPERIMENTS.md for the
+// residual analysis).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/experiment.h"
+#include "exp/sweep.h"
+#include "qfb/qft.h"
+#include "transpile/transpile.h"
+
+namespace qfab {
+namespace {
+
+struct CountRow {
+  Operation op;
+  int n;
+  int depth;
+  std::size_t paper_1q;
+  std::size_t paper_2q;
+};
+
+GateCounts transpiled_counts(Operation op, int n, int depth) {
+  CircuitSpec spec;
+  spec.op = op;
+  spec.n = n;
+  spec.depth = depth;
+  return build_transpiled_circuit(spec).counts();
+}
+
+TEST(AbstractCounts, QfaRotationTotalsMatchPaper) {
+  // Paper Table I 2q counts / 2 = CP totals: 49, 61, 71, 79, 91 for
+  // d = 1, 2, 3, 4, 7(full) — QFT(d) twice plus the capped 35-rotation add.
+  const std::size_t add = 35;  // adder_rotation_count(8, 8, cap 7)
+  EXPECT_EQ(2 * qft_rotation_count(8, 1) + add, 49u);
+  EXPECT_EQ(2 * qft_rotation_count(8, 2) + add, 61u);
+  EXPECT_EQ(2 * qft_rotation_count(8, 3) + add, 71u);
+  EXPECT_EQ(2 * qft_rotation_count(8, 4) + add, 79u);
+  EXPECT_EQ(2 * qft_rotation_count(8, kFullDepth) + add, 91u);
+}
+
+TEST(AbstractCounts, QfmCcpTotalsMatchPaper) {
+  // Paper QFM rows: (2q - 40 ch-CX) / 8 = CCP totals 88, 112, 136 for
+  // d = 1, 2, full — 8 window cQFTs (5 qubits) plus 4 × 14-rotation cadds.
+  const std::size_t cadd_total = 4 * 14;
+  EXPECT_EQ(8 * qft_rotation_count(5, 1) + cadd_total, 88u);
+  EXPECT_EQ(8 * qft_rotation_count(5, 2) + cadd_total, 112u);
+  EXPECT_EQ(8 * qft_rotation_count(5, kFullDepth) + cadd_total, 136u);
+  // The paper labels full as d=3 (n-1 for 4-bit operands) but the counts
+  // correspond to the full 5-qubit window cQFT (d=4); our d=3 row is the
+  // genuinely approximated one the paper skipped:
+  EXPECT_EQ(8 * qft_rotation_count(5, 3) + cadd_total, 128u);
+}
+
+class TranspiledCounts : public ::testing::TestWithParam<CountRow> {};
+
+TEST_P(TranspiledCounts, TwoQubitCountsMatchPaperExactly) {
+  const CountRow row = GetParam();
+  const GateCounts counts = transpiled_counts(row.op, row.n, row.depth);
+  EXPECT_EQ(counts.two_qubit, row.paper_2q);
+  EXPECT_EQ(counts.three_qubit, 0u);
+}
+
+TEST_P(TranspiledCounts, OneQubitCountsAtFixedOffsetFromPaper) {
+  // 1q totals depend on the transpiler's 1q-run resynthesis. Ours differs
+  // from Qiskit 0.31's by a *constant* per-H/per-CH amount: +17 for every
+  // QFA row, -60 for every QFM row — so all depth-to-depth deltas match
+  // the paper exactly (see EXPERIMENTS.md).
+  const CountRow row = GetParam();
+  const GateCounts counts = transpiled_counts(row.op, row.n, row.depth);
+  const long offset = row.op == Operation::kAdd ? 17 : -60;
+  EXPECT_EQ(static_cast<long>(counts.one_qubit),
+            static_cast<long>(row.paper_1q) + offset);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, TranspiledCounts,
+    ::testing::Values(
+        CountRow{Operation::kAdd, 8, 1, 163, 98},
+        CountRow{Operation::kAdd, 8, 2, 199, 122},
+        CountRow{Operation::kAdd, 8, 3, 229, 142},
+        CountRow{Operation::kAdd, 8, 4, 253, 158},
+        CountRow{Operation::kAdd, 8, kFullDepth, 289, 182},
+        CountRow{Operation::kMultiply, 4, 1, 1032, 744},
+        CountRow{Operation::kMultiply, 4, 2, 1248, 936},
+        CountRow{Operation::kMultiply, 4, kFullDepth, 1464, 1128}),
+    [](const ::testing::TestParamInfo<CountRow>& info) {
+      return std::string(info.param.op == Operation::kAdd ? "qfa" : "qfm") +
+             "_d" + depth_label(info.param.depth);
+    });
+
+TEST(TranspiledCounts, BasisAlphabetOnly) {
+  for (Operation op : {Operation::kAdd, Operation::kMultiply}) {
+    CircuitSpec spec;
+    spec.op = op;
+    spec.n = op == Operation::kAdd ? 8 : 4;
+    const QuantumCircuit qc = build_transpiled_circuit(spec);
+    for (const Gate& g : qc.gates()) {
+      const bool basis = g.kind == GateKind::kId || g.kind == GateKind::kX ||
+                         g.kind == GateKind::kSX || g.kind == GateKind::kRZ ||
+                         g.kind == GateKind::kCX;
+      ASSERT_TRUE(basis) << g.to_string();
+    }
+  }
+}
+
+TEST(TranspiledCounts, DepthSemanticFullEqualsExplicit) {
+  EXPECT_EQ(transpiled_counts(Operation::kAdd, 8, 7).two_qubit,
+            transpiled_counts(Operation::kAdd, 8, kFullDepth).two_qubit);
+  EXPECT_EQ(transpiled_counts(Operation::kMultiply, 4, 4).two_qubit,
+            transpiled_counts(Operation::kMultiply, 4, kFullDepth).two_qubit);
+}
+
+}  // namespace
+}  // namespace qfab

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exp/metrics.h"
+
+namespace qfab {
+namespace {
+
+TEST(Metrics, TotalVariationBasics) {
+  EXPECT_DOUBLE_EQ(total_variation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_NEAR(total_variation({0.7, 0.3}, {0.5, 0.5}), 0.2, 1e-12);
+  EXPECT_THROW(total_variation({1.0}, {0.5, 0.5}), CheckError);
+}
+
+TEST(Metrics, HellingerFidelityBasics) {
+  EXPECT_NEAR(hellinger_fidelity({0.5, 0.5}, {0.5, 0.5}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(hellinger_fidelity({1.0, 0.0}, {0.0, 1.0}), 0.0);
+  // (sqrt(0.5*1.0))^2 = 0.5 for {1,0} vs {0.5,0.5}.
+  EXPECT_NEAR(hellinger_fidelity({1.0, 0.0}, {0.5, 0.5}), 0.5, 1e-12);
+}
+
+TEST(Metrics, HellingerSymmetricAndBounded) {
+  const std::vector<double> p = {0.6, 0.3, 0.1, 0.0};
+  const std::vector<double> q = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(hellinger_fidelity(p, q), hellinger_fidelity(q, p));
+  EXPECT_GT(hellinger_fidelity(p, q), 0.0);
+  EXPECT_LT(hellinger_fidelity(p, q), 1.0);
+}
+
+TEST(Metrics, KlDivergence) {
+  EXPECT_NEAR(kl_divergence({0.5, 0.5}, {0.5, 0.5}), 0.0, 1e-12);
+  const double d = kl_divergence({0.75, 0.25}, {0.5, 0.5});
+  EXPECT_NEAR(d, 0.75 * std::log(1.5) + 0.25 * std::log(0.5), 1e-12);
+  // Support mismatch hits the sentinel.
+  EXPECT_GE(kl_divergence({0.5, 0.5}, {1.0, 0.0}), 1e12);
+  // Zero p bins are fine.
+  EXPECT_NEAR(kl_divergence({0.0, 1.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+TEST(Metrics, SuccessMass) {
+  const std::vector<double> p = {0.1, 0.4, 0.3, 0.2};
+  EXPECT_NEAR(success_mass(p, {1}), 0.4, 1e-12);
+  EXPECT_NEAR(success_mass(p, {1, 3}), 0.6, 1e-12);
+  EXPECT_THROW(success_mass(p, {5}), CheckError);
+}
+
+TEST(Metrics, NormalizeCounts) {
+  const auto p = normalize_counts({2, 0, 6});
+  EXPECT_NEAR(p[0], 0.25, 1e-12);
+  EXPECT_NEAR(p[2], 0.75, 1e-12);
+  EXPECT_THROW(normalize_counts({0, 0}), CheckError);
+}
+
+TEST(Metrics, PinskersInequalityHolds) {
+  // TV² <= KL/2 for arbitrary distributions (sanity property sweep).
+  const std::vector<std::vector<double>> dists = {
+      {0.9, 0.1, 0.0, 0.0},
+      {0.25, 0.25, 0.25, 0.25},
+      {0.4, 0.3, 0.2, 0.1},
+      {0.97, 0.01, 0.01, 0.01},
+  };
+  for (const auto& p : dists)
+    for (const auto& q : dists) {
+      if (kl_divergence(p, q) >= 1e12) continue;
+      const double tv = total_variation(p, q);
+      EXPECT_LE(tv * tv, kl_divergence(p, q) / 2.0 + 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace qfab

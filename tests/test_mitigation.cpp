@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "noise/mitigation.h"
+
+namespace qfab {
+namespace {
+
+TEST(ReadoutInversion, ExactlyUndoesConfusionInExpectation) {
+  const ReadoutError err{0.08, 0.12};
+  std::vector<double> dist = {0.5, 0.125, 0.25, 0.125};
+  const std::vector<double> original = dist;
+  apply_readout_error(dist, err);
+  const auto recovered = invert_readout(dist, err);
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_NEAR(recovered[i], original[i], 1e-10);
+}
+
+TEST(ReadoutInversion, MultiQubitRoundTrip) {
+  const ReadoutError err{0.05, 0.05};
+  std::vector<double> dist(16, 0.0);
+  dist[3] = 0.7;
+  dist[12] = 0.3;
+  const std::vector<double> original = dist;
+  apply_readout_error(dist, err);
+  const auto recovered = invert_readout(dist, err);
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_NEAR(recovered[i], original[i], 1e-10);
+}
+
+TEST(ReadoutInversion, ClipsSamplingNegatives) {
+  // Statistical fluctuations can push the inverted vector negative; the
+  // result must still be a probability vector.
+  const ReadoutError err{0.2, 0.2};
+  const std::vector<double> noisy_empirical = {0.15, 0.85};
+  const auto fixed = invert_readout(noisy_empirical, err);
+  double total = 0.0;
+  for (double p : fixed) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ReadoutInversion, RejectsSingularConfusion) {
+  const std::vector<double> dist = {0.5, 0.5};
+  const ReadoutError singular{0.5, 0.5};
+  EXPECT_THROW(invert_readout(dist, singular), CheckError);
+}
+
+TEST(Richardson, WeightsSumToOne) {
+  for (const std::vector<double>& scales :
+       {std::vector<double>{1.0, 2.0}, {1.0, 2.0, 3.0}, {1.0, 1.5, 2.5}}) {
+    const auto w = richardson_weights(scales);
+    double sum = 0.0;
+    for (double x : w) sum += x;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Richardson, TwoPointLinearWeights) {
+  // f(0) ≈ 2 f(1) - f(2).
+  const auto w = richardson_weights({1.0, 2.0});
+  EXPECT_NEAR(w[0], 2.0, 1e-12);
+  EXPECT_NEAR(w[1], -1.0, 1e-12);
+}
+
+TEST(Richardson, RecoversPolynomialExactly) {
+  // If each outcome's probability is polynomial in the scale with degree
+  // < #scales, extrapolation is exact (before clipping).
+  const std::vector<double> scales = {1.0, 2.0, 3.0};
+  auto f0 = [](double c) { return 0.6 - 0.1 * c + 0.01 * c * c; };
+  auto f1 = [&](double c) { return 1.0 - f0(c); };
+  std::vector<std::vector<double>> dists;
+  for (double c : scales) dists.push_back({f0(c), f1(c)});
+  const auto zero = richardson_extrapolate(dists, scales);
+  EXPECT_NEAR(zero[0], f0(0.0), 1e-10);
+  EXPECT_NEAR(zero[1], f1(0.0), 1e-10);
+}
+
+TEST(Richardson, RejectsDegenerateScales) {
+  EXPECT_THROW(richardson_weights({1.0, 1.0}), CheckError);
+  EXPECT_THROW(richardson_extrapolate({{1.0}, {0.9}}, {2.0}), CheckError);
+}
+
+TEST(Richardson, MismatchedSizesRejected) {
+  EXPECT_THROW(richardson_extrapolate({{0.5, 0.5}, {0.5}}, {1.0, 2.0}),
+               CheckError);
+}
+
+TEST(ClipToProbabilities, Basics) {
+  const auto p = clip_to_probabilities({0.5, -0.25, 0.75});
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_NEAR(p[0] + p[2], 1.0, 1e-12);
+  EXPECT_THROW(clip_to_probabilities({-1.0, -2.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace qfab

@@ -1,0 +1,250 @@
+// Noise-layer validation: depolarizing event probabilities, conditional
+// trajectory sampling, checkpointed replay correctness, and agreement
+// between the stratified channel estimator and paper-faithful per-shot
+// simulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/estimator.h"
+#include "noise/trajectory.h"
+#include "qfb/adder.h"
+#include "transpile/transpile.h"
+
+namespace qfab {
+namespace {
+
+QuantumCircuit small_basis_circuit() {
+  QuantumCircuit qc(3);
+  qc.h(0);
+  qc.cp(0, 1, 0.7);
+  qc.h(1);
+  qc.cx(1, 2);
+  qc.rz(2, 0.4);
+  qc.cx(0, 2);
+  return transpile_to_basis(qc);
+}
+
+TEST(NoiseModel, EventProbabilities) {
+  NoiseModel nm;
+  nm.p1q = 0.01;
+  nm.p2q = 0.02;
+  EXPECT_DOUBLE_EQ(nm.error_event_prob(make_gate1(GateKind::kSX, 0)),
+                   0.01 * 0.75);
+  EXPECT_DOUBLE_EQ(nm.error_event_prob(make_gate1(GateKind::kRZ, 0, 0.1)),
+                   0.01 * 0.75);
+  EXPECT_DOUBLE_EQ(nm.error_event_prob(make_gate2(GateKind::kCX, 0, 1)),
+                   0.02 * 15.0 / 16.0);
+  nm.noisy_rz = false;
+  EXPECT_DOUBLE_EQ(nm.error_event_prob(make_gate1(GateKind::kRZ, 0, 0.1)),
+                   0.0);
+  nm.noisy_id = false;
+  EXPECT_DOUBLE_EQ(nm.error_event_prob(make_gate1(GateKind::kId, 0)), 0.0);
+  EXPECT_THROW(nm.error_event_prob(make_gate3(GateKind::kCCP, 0, 1, 2, 0.1)),
+               CheckError);
+}
+
+TEST(ErrorLocations, CleanProbabilityHomogeneous) {
+  const QuantumCircuit qc = small_basis_circuit();
+  NoiseModel nm;
+  nm.p2q = 0.1;
+  const ErrorLocations locs(qc, nm);
+  const std::size_t n_cx = qc.counts().by_name.at("cx");
+  EXPECT_EQ(locs.noisy_gate_count(), n_cx);
+  const double q = 0.1 * 15.0 / 16.0;
+  EXPECT_NEAR(locs.clean_probability(),
+              std::pow(1.0 - q, static_cast<double>(n_cx)), 1e-12);
+  EXPECT_NEAR(locs.expected_events(), q * static_cast<double>(n_cx), 1e-12);
+}
+
+TEST(ErrorLocations, SampleRateMatchesExpectation) {
+  const QuantumCircuit qc = small_basis_circuit();
+  NoiseModel nm;
+  nm.p1q = 0.2;
+  const ErrorLocations locs(qc, nm);
+  Pcg64 rng(5);
+  double total = 0.0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i)
+    total += static_cast<double>(locs.sample(rng).size());
+  EXPECT_NEAR(total / reps, locs.expected_events(),
+              0.05 * locs.expected_events() + 0.01);
+}
+
+TEST(ErrorLocations, ConditionalSamplerNeverEmptyAndUnbiased) {
+  const QuantumCircuit qc = small_basis_circuit();
+  NoiseModel nm;
+  nm.p1q = 0.02;
+  nm.p2q = 0.05;  // heterogeneous rates
+  const ErrorLocations locs(qc, nm);
+  Pcg64 rng(6);
+  // Empirical conditional mean must match E[K | K>=1] =
+  // E[K] / (1 - P(K=0)) for Poisson-binomial K? No: E[K | K>=1] =
+  // E[K] / P(K>=1) since K=0 contributes nothing to E[K].
+  const double expected_mean =
+      locs.expected_events() / (1.0 - locs.clean_probability());
+  double total = 0.0;
+  const int reps = 20000;
+  for (int i = 0; i < reps; ++i) {
+    const auto ev = locs.sample_at_least_one(rng);
+    ASSERT_FALSE(ev.empty());
+    ASSERT_TRUE(std::is_sorted(ev.begin(), ev.end(),
+                               [](const ErrorEvent& a, const ErrorEvent& b) {
+                                 return a.gate_index < b.gate_index;
+                               }));
+    total += static_cast<double>(ev.size());
+  }
+  EXPECT_NEAR(total / reps, expected_mean, 0.02 * expected_mean + 0.005);
+}
+
+TEST(ErrorLocations, PauliCodesInRange) {
+  const QuantumCircuit qc = small_basis_circuit();
+  NoiseModel nm;
+  nm.p1q = 0.5;
+  nm.p2q = 0.5;
+  const ErrorLocations locs(qc, nm);
+  Pcg64 rng(7);
+  int two_qubit_events = 0;
+  for (int i = 0; i < 500; ++i) {
+    for (const ErrorEvent& ev : locs.sample(rng)) {
+      const Gate& g = qc.gates()[ev.gate_index];
+      if (g.arity() == 1) {
+        EXPECT_NE(ev.pauli0, Pauli::kI);
+        EXPECT_EQ(ev.pauli1, Pauli::kI);
+      } else {
+        EXPECT_TRUE(ev.pauli0 != Pauli::kI || ev.pauli1 != Pauli::kI);
+        ++two_qubit_events;
+      }
+    }
+  }
+  EXPECT_GT(two_qubit_events, 0);
+}
+
+TEST(CleanRun, CheckpointReplayMatchesDirect) {
+  const QuantumCircuit qc = small_basis_circuit();
+  StateVector init(3);
+  init.apply_gate(make_gate1(GateKind::kH, 2));  // non-trivial start
+  const CleanRun clean(qc, init, /*checkpoint_interval=*/3);
+
+  for (std::size_t g = 0; g <= qc.gates().size(); ++g) {
+    StateVector direct = init;
+    direct.apply_circuit_range(qc, 0, g);
+    const StateVector via = clean.state_at(g);
+    double d = 0.0;
+    for (u64 i = 0; i < direct.dim(); ++i)
+      d += std::norm(direct.amplitude(i) - via.amplitude(i));
+    EXPECT_LT(std::sqrt(d), 1e-12) << "g=" << g;
+  }
+}
+
+TEST(Trajectory, MatchesManualPauliInsertion) {
+  const QuantumCircuit qc = small_basis_circuit();
+  StateVector init(3);
+  const CleanRun clean(qc, init, 4);
+
+  // Two events: Y on gate 2's qubit, X⊗Z on a CX.
+  std::size_t cx_index = 0;
+  for (std::size_t i = 0; i < qc.gates().size(); ++i)
+    if (qc.gates()[i].kind == GateKind::kCX) cx_index = i;
+  std::vector<ErrorEvent> events;
+  events.push_back({2, Pauli::kY, Pauli::kI});
+  events.push_back({cx_index, Pauli::kX, Pauli::kZ});
+
+  const StateVector via = run_trajectory(clean, events);
+
+  StateVector manual = init;
+  for (std::size_t i = 0; i < qc.gates().size(); ++i) {
+    manual.apply_gate(qc.gates()[i]);
+    for (const ErrorEvent& ev : events)
+      if (ev.gate_index == i) {
+        if (ev.pauli0 != Pauli::kI)
+          manual.apply_pauli(ev.pauli0, qc.gates()[i].qubits[0]);
+        if (ev.pauli1 != Pauli::kI)
+          manual.apply_pauli(ev.pauli1, qc.gates()[i].qubits[1]);
+      }
+  }
+  double d = 0.0;
+  for (u64 i = 0; i < manual.dim(); ++i)
+    d += std::norm(manual.amplitude(i) - via.amplitude(i));
+  EXPECT_LT(std::sqrt(d), 1e-12);
+}
+
+TEST(Trajectory, NoEventsReturnsCleanFinal) {
+  const QuantumCircuit qc = small_basis_circuit();
+  const CleanRun clean(qc, StateVector(3), 4);
+  const StateVector out = run_trajectory(clean, {});
+  double d = 0.0;
+  for (u64 i = 0; i < out.dim(); ++i)
+    d += std::norm(out.amplitude(i) - clean.final_state().amplitude(i));
+  EXPECT_LT(d, 1e-24);
+}
+
+TEST(Estimator, NoNoiseReturnsIdealExactly) {
+  const QuantumCircuit qc = small_basis_circuit();
+  const CleanRun clean(qc, StateVector(3), 8);
+  const ErrorLocations locs(qc, NoiseModel{});
+  Pcg64 rng(9);
+  const auto est =
+      estimate_channel_marginal(clean, locs, {0, 1, 2}, {4}, rng);
+  const auto ideal = clean.ideal_marginal({0, 1, 2});
+  for (std::size_t i = 0; i < est.size(); ++i)
+    EXPECT_DOUBLE_EQ(est[i], ideal[i]);
+}
+
+TEST(Estimator, StratifiedAgreesWithPerShot) {
+  // Cross-validation of the two modes on a real (small) QFA circuit.
+  const QuantumCircuit qc = transpile_to_basis(make_qfa(3, 3, {}));
+  StateVector init(6);
+  init.set_basis_state(3 | (5 << 3));  // x=3, y=5
+  const CleanRun clean(qc, init, 16);
+
+  NoiseModel nm;
+  nm.p2q = 0.03;
+  const ErrorLocations locs(qc, nm);
+  const std::vector<int> out_qubits = {3, 4, 5};
+
+  Pcg64 rng1(11), rng2(12);
+  const auto strat = estimate_channel_marginal(clean, locs, out_qubits,
+                                               {600}, rng1);
+  const std::uint64_t shots = 40000;
+  const auto counts =
+      sample_counts_per_shot(clean, locs, out_qubits, shots, rng2);
+
+  double tv = 0.0;
+  for (std::size_t i = 0; i < strat.size(); ++i)
+    tv += std::abs(strat[i] -
+                   static_cast<double>(counts[i]) / static_cast<double>(shots));
+  EXPECT_LT(tv / 2.0, 0.02) << "total variation too large";
+  // The ideal output (x+y = 0 mod 8) must dominate both.
+  EXPECT_GT(strat[0], 0.55);
+  EXPECT_GT(static_cast<double>(counts[0]) / static_cast<double>(shots),
+            0.55);
+}
+
+TEST(Estimator, DistributionsAreNormalized) {
+  const QuantumCircuit qc = transpile_to_basis(make_qfa(3, 3, {}));
+  StateVector init(6);
+  init.set_basis_state(1 | (2 << 3));
+  const CleanRun clean(qc, init, 16);
+  NoiseModel nm;
+  nm.p1q = 0.01;
+  const ErrorLocations locs(qc, nm);
+  Pcg64 rng(13);
+  const auto est = estimate_channel_marginal(clean, locs, {3, 4, 5}, {50},
+                                             rng);
+  double total = 0.0;
+  for (double p : est) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Estimator, ShotCountsSumToShots) {
+  Pcg64 rng(14);
+  const auto counts = sample_shot_counts({0.25, 0.25, 0.5}, 2048, rng);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], 2048u);
+}
+
+}  // namespace
+}  // namespace qfab

@@ -1,0 +1,173 @@
+// Channel-level property tests: composition laws of the depolarizing
+// channel, unitality, contraction of distances, and estimator statistics —
+// checked against the exact density-matrix backend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/densitymatrix.h"
+#include "noise/estimator.h"
+#include "qfb/qft.h"
+#include "transpile/transpile.h"
+
+namespace qfab {
+namespace {
+
+DensityMatrix random_pure(int n, Pcg64& rng) {
+  std::vector<cplx> amps(pow2(n));
+  double norm = 0.0;
+  for (cplx& a : amps) {
+    a = cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+    norm += std::norm(a);
+  }
+  for (cplx& a : amps) a /= std::sqrt(norm);
+  return DensityMatrix::from_statevector(
+      StateVector::from_amplitudes(std::move(amps)));
+}
+
+double frob_distance(const DensityMatrix& a, const DensityMatrix& b) {
+  double d = 0.0;
+  for (u64 r = 0; r < a.dim(); ++r)
+    for (u64 c = 0; c < a.dim(); ++c) d += std::norm(a.at(r, c) - b.at(r, c));
+  return std::sqrt(d);
+}
+
+TEST(ChannelProperties, DepolarizingComposition) {
+  // Two depolarizing channels compose to one: the Bloch contraction
+  // factors multiply, (1-p1)(1-p2) = 1-p12 -> p12 = p1 + p2 - p1 p2.
+  Pcg64 rng(8);
+  const double p1 = 0.15, p2 = 0.3;
+  const double p12 = p1 + p2 - p1 * p2;
+  for (int rep = 0; rep < 4; ++rep) {
+    DensityMatrix a = random_pure(2, rng);
+    DensityMatrix b = a;
+    a.apply_depolarizing1(0, p1);
+    a.apply_depolarizing1(0, p2);
+    b.apply_depolarizing1(0, p12);
+    EXPECT_LT(frob_distance(a, b), 1e-10);
+  }
+}
+
+TEST(ChannelProperties, DepolarizingIsUnital) {
+  // The maximally mixed state is a fixed point.
+  DensityMatrix dm(2);
+  // Build I/4 by fully depolarizing both qubits.
+  dm.apply_depolarizing1(0, 1.0);
+  dm.apply_depolarizing1(1, 1.0);
+  DensityMatrix before = dm;
+  dm.apply_depolarizing2(0, 1, 0.37);
+  EXPECT_LT(frob_distance(dm, before), 1e-10);
+  EXPECT_NEAR(dm.purity(), 0.25, 1e-10);
+}
+
+TEST(ChannelProperties, NoiseContractsPurityMonotonically) {
+  Pcg64 rng(9);
+  DensityMatrix dm = random_pure(3, rng);
+  double prev = dm.purity();
+  for (int step = 0; step < 5; ++step) {
+    dm.apply_depolarizing2(0, 2, 0.1);
+    dm.apply_depolarizing1(1, 0.05);
+    const double now = dm.purity();
+    EXPECT_LT(now, prev + 1e-12);
+    prev = now;
+  }
+  EXPECT_GT(prev, 1.0 / 8.0 - 1e-12);  // never below maximally mixed
+}
+
+TEST(ChannelProperties, PauliChannelCommutesWithZRotations) {
+  // A Z-only Pauli channel commutes with RZ evolution.
+  DensityMatrix a(1), b(1);
+  a.apply_gate(make_gate1(GateKind::kH, 0));
+  b.apply_gate(make_gate1(GateKind::kH, 0));
+  const PauliProbs dephase{0.0, 0.0, 0.2};
+  const Gate rz = make_gate1(GateKind::kRZ, 0, 0.7);
+  a.apply_pauli_channel(0, dephase);
+  a.apply_gate(rz);
+  b.apply_gate(rz);
+  b.apply_pauli_channel(0, dephase);
+  EXPECT_LT(frob_distance(a, b), 1e-12);
+}
+
+TEST(EstimatorStatistics, CleanWeightMatchesEmpiricalCleanFraction) {
+  const QuantumCircuit qc = transpile_to_basis(make_qft(3, kFullDepth));
+  NoiseModel nm;
+  nm.p1q = 0.02;
+  nm.p2q = 0.01;
+  const ErrorLocations locs(qc, nm);
+  Pcg64 rng(10);
+  int clean = 0;
+  const int reps = 30000;
+  for (int i = 0; i < reps; ++i) clean += locs.sample(rng).empty();
+  EXPECT_NEAR(static_cast<double>(clean) / reps, locs.clean_probability(),
+              0.01);
+}
+
+TEST(EstimatorStatistics, EventPositionsAreUniformWhenHomogeneous) {
+  // With a single gate type noisy at one rate, error positions
+  // (conditional on exactly one event) are uniform over noisy locations.
+  QuantumCircuit qc(2);
+  for (int i = 0; i < 10; ++i) qc.cx(0, 1);
+  NoiseModel nm;
+  nm.p2q = 0.01;
+  const ErrorLocations locs(qc, nm);
+  Pcg64 rng(11);
+  std::vector<int> hist(10, 0);
+  int singles = 0;
+  while (singles < 8000) {
+    const auto ev = locs.sample_at_least_one(rng);
+    if (ev.size() != 1) continue;
+    ++hist[static_cast<int>(ev[0].gate_index)];
+    ++singles;
+  }
+  for (int h : hist) EXPECT_NEAR(h, 800, 120);
+}
+
+TEST(EstimatorStatistics, TwoQubitPaulisAreUniform) {
+  QuantumCircuit qc(2);
+  qc.cx(0, 1);
+  NoiseModel nm;
+  nm.p2q = 0.9;
+  const ErrorLocations locs(qc, nm);
+  Pcg64 rng(12);
+  std::vector<int> hist(16, 0);
+  int events = 0;
+  for (int i = 0; i < 60000 && events < 30000; ++i)
+    for (const ErrorEvent& ev : locs.sample(rng)) {
+      const int code = static_cast<int>(ev.pauli0) |
+                       (static_cast<int>(ev.pauli1) << 2);
+      ++hist[code];
+      ++events;
+    }
+  EXPECT_EQ(hist[0], 0);  // no identity "errors"
+  for (int c = 1; c < 16; ++c)
+    EXPECT_NEAR(hist[c], events / 15.0, 5.0 * std::sqrt(events / 15.0));
+}
+
+TEST(EstimatorStatistics, StratifiedEstimateIsUnbiasedOverSeeds) {
+  // Averaging many independent stratified estimates converges to the
+  // exact channel marginal (unbiasedness, not just convergence in T).
+  const QuantumCircuit qc = transpile_to_basis(make_qft(2, kFullDepth));
+  NoiseModel nm;
+  nm.p1q = 0.05;
+  StateVector init(2);
+  init.set_basis_state(1);
+  DensityMatrix dm = DensityMatrix::from_statevector(init);
+  dm.apply_noisy_circuit(qc, nm);
+  const auto exact = dm.marginal_probabilities({0, 1});
+
+  const CleanRun clean(qc, init, 8);
+  const ErrorLocations locs(qc, nm);
+  std::vector<double> mean(4, 0.0);
+  const int seeds = 300;
+  for (int s = 0; s < seeds; ++s) {
+    Pcg64 rng(1000 + static_cast<std::uint64_t>(s));
+    const auto est =
+        estimate_channel_marginal(clean, locs, {0, 1}, {3}, rng);
+    for (int i = 0; i < 4; ++i) mean[static_cast<std::size_t>(i)] += est[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(mean[static_cast<std::size_t>(i)] / seeds, exact[static_cast<std::size_t>(i)], 0.01);
+}
+
+}  // namespace
+}  // namespace qfab

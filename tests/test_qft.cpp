@@ -1,0 +1,165 @@
+// QFT/AQFT semantics: the swapped circuit must equal the textbook DFT, the
+// swapless (Draper) form its bit-reversed variant, and the AQFT must match
+// the paper's truncated-binary-fraction product state (Eq. 4) exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "qfb/qft.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+std::vector<cplx> run_on_basis(const QuantumCircuit& qc, u64 input) {
+  StateVector sv(qc.num_qubits());
+  sv.set_basis_state(input);
+  sv.apply_circuit(qc);
+  return sv.amplitudes();
+}
+
+double distance(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::norm(a[i] - b[i]);
+  return std::sqrt(d);
+}
+
+TEST(Qft, DepthResolution) {
+  EXPECT_EQ(resolve_qft_depth(kFullDepth, 8), 7);
+  EXPECT_EQ(resolve_qft_depth(3, 8), 3);
+  EXPECT_EQ(resolve_qft_depth(100, 8), 7);  // clamped
+  EXPECT_EQ(resolve_qft_depth(0, 4), 0);
+  EXPECT_THROW(resolve_qft_depth(-2, 4), CheckError);
+}
+
+TEST(Qft, RotationCountFormula) {
+  // n=8: d=1 -> 7, d=2 -> 13, d=3 -> 18, d=4 -> 22, full -> 28.
+  EXPECT_EQ(qft_rotation_count(8, 1), 7u);
+  EXPECT_EQ(qft_rotation_count(8, 2), 13u);
+  EXPECT_EQ(qft_rotation_count(8, 3), 18u);
+  EXPECT_EQ(qft_rotation_count(8, 4), 22u);
+  EXPECT_EQ(qft_rotation_count(8, kFullDepth), 28u);
+  EXPECT_EQ(qft_rotation_count(1, kFullDepth), 0u);
+}
+
+TEST(Qft, RotationCountMatchesCircuit) {
+  for (int n = 1; n <= 6; ++n)
+    for (int d : {0, 1, 2, 3, kFullDepth}) {
+      const QuantumCircuit qc = make_qft(n, d);
+      EXPECT_EQ(qc.counts().by_name.count("cp")
+                    ? qc.counts().by_name.at("cp")
+                    : 0u,
+                qft_rotation_count(n, d))
+          << "n=" << n << " d=" << d;
+      EXPECT_EQ(qc.counts().by_name.at("h"), static_cast<std::size_t>(n));
+    }
+}
+
+class QftDft : public ::testing::TestWithParam<int> {};
+
+TEST_P(QftDft, SwappedFormEqualsTextbookDft) {
+  const int n = GetParam();
+  const u64 N = pow2(n);
+  const QuantumCircuit qc = make_qft(n, kFullDepth, /*with_swaps=*/true);
+  for (u64 y = 0; y < N; ++y) {
+    const auto amps = run_on_basis(qc, y);
+    for (u64 k = 0; k < N; ++k) {
+      const double phase = kTwoPi * static_cast<double>(y * k % N) /
+                           static_cast<double>(N);
+      const cplx expected =
+          cplx{std::cos(phase), std::sin(phase)} / std::sqrt(double(N));
+      ASSERT_NEAR(std::abs(amps[k] - expected), 0.0, 1e-9)
+          << "y=" << y << " k=" << k;
+    }
+  }
+}
+
+TEST_P(QftDft, SwaplessFormIsBitReversedDft) {
+  const int n = GetParam();
+  const u64 N = pow2(n);
+  const QuantumCircuit qc = make_qft(n);
+  for (u64 y = 0; y < N; ++y) {
+    const auto amps = run_on_basis(qc, y);
+    for (u64 k = 0; k < N; ++k) {
+      const u64 rk = reverse_bits(k, n);
+      const double phase = kTwoPi * static_cast<double>(y * rk % N) /
+                           static_cast<double>(N);
+      const cplx expected =
+          cplx{std::cos(phase), std::sin(phase)} / std::sqrt(double(N));
+      ASSERT_NEAR(std::abs(amps[k] - expected), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(QftDft, InverseUndoesForward) {
+  const int n = GetParam();
+  QuantumCircuit qc(n);
+  std::vector<int> qubits(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) qubits[static_cast<std::size_t>(i)] = i;
+  append_qft(qc, qubits);
+  append_iqft(qc, qubits);
+  for (u64 y = 0; y < pow2(n); ++y) {
+    const auto amps = run_on_basis(qc, y);
+    EXPECT_NEAR(std::abs(amps[y]), 1.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QftDft, ::testing::Values(1, 2, 3, 4, 5));
+
+// The AQFT product form: qubit q carries phase sum_{j=max(1,q-d)}^{q}
+// y_j / 2^{q-j+1} (at most d controlled terms + the Hadamard self-term).
+class AqftProduct : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AqftProduct, MatchesTruncatedBinaryFraction) {
+  const auto [n, d] = GetParam();
+  const QuantumCircuit qc = make_qft(n, d);
+  const u64 N = pow2(n);
+  for (u64 y = 0; y < N; ++y) {
+    // Expected product state amplitudes.
+    std::vector<cplx> expected(N);
+    for (u64 k = 0; k < N; ++k) {
+      double phase = 0.0;
+      for (int q = 1; q <= n; ++q) {
+        if (!get_bit(k, q - 1)) continue;
+        const int j_min = std::max(1, q - d);
+        for (int j = j_min; j <= q; ++j)
+          if (get_bit(y, j - 1))
+            phase += 1.0 / std::ldexp(1.0, q - j + 1);
+      }
+      expected[k] = cplx{std::cos(kTwoPi * phase), std::sin(kTwoPi * phase)} /
+                    std::sqrt(double(N));
+    }
+    EXPECT_LT(distance(run_on_basis(qc, y), expected), 1e-9)
+        << "n=" << n << " d=" << d << " y=" << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthGrid, AqftProduct,
+    ::testing::Values(std::pair{3, 0}, std::pair{3, 1}, std::pair{3, 2},
+                      std::pair{4, 1}, std::pair{4, 2}, std::pair{4, 3},
+                      std::pair{5, 1}, std::pair{5, 3}, std::pair{5, 4}));
+
+TEST(Qft, FullDepthEqualsLargeDepth) {
+  // Depth >= n-1 is the full transform.
+  const QuantumCircuit a = make_qft(4, kFullDepth);
+  const QuantumCircuit b = make_qft(4, 3);
+  EXPECT_EQ(a.gates().size(), b.gates().size());
+}
+
+TEST(Qft, AppendOnSubsetOfQubits) {
+  // QFT over a non-contiguous subset leaves other qubits alone.
+  QuantumCircuit qc(4);
+  append_qft(qc, {1, 3});
+  StateVector sv(4);
+  sv.set_basis_state(0b0101);  // q0=1, q2=1 untouched
+  sv.apply_circuit(qc);
+  const auto m = sv.marginal_probabilities({0, 2});
+  EXPECT_NEAR(m[0b11], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qfab

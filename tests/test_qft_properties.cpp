@@ -1,0 +1,158 @@
+// Fourier-transform property tests: shift theorem, norm preservation,
+// approximation-fidelity monotonicity in the AQFT depth, and the
+// Barenco-style depth heuristic the paper leans on (optimal d ~ log2 n).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "qfb/adder.h"
+#include "qfb/qft.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+std::vector<int> all_qubits(int n) {
+  std::vector<int> q(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) q[static_cast<std::size_t>(i)] = i;
+  return q;
+}
+
+/// |<a|b>| for two state vectors.
+double overlap(const StateVector& a, const StateVector& b) {
+  cplx acc{0.0, 0.0};
+  for (u64 i = 0; i < a.dim(); ++i)
+    acc += std::conj(a.amplitude(i)) * b.amplitude(i);
+  return std::abs(acc);
+}
+
+TEST(QftProperties, PreservesNormOnRandomStates) {
+  Pcg64 rng(3);
+  for (int n : {2, 4, 6}) {
+    std::vector<cplx> amps(pow2(n));
+    double norm = 0.0;
+    for (cplx& a : amps) {
+      a = cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+      norm += std::norm(a);
+    }
+    for (cplx& a : amps) a /= std::sqrt(norm);
+    StateVector sv = StateVector::from_amplitudes(std::move(amps));
+    sv.apply_circuit(make_qft(n));
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+  }
+}
+
+TEST(QftProperties, ShiftTheorem) {
+  // QFT|y+1 mod N> = D · QFT|y> where D multiplies Fourier qubit q by
+  // e^{2πi/2^q} — exactly the constant-adder phase profile for +1.
+  const int n = 4;
+  const QuantumCircuit qft = make_qft(n);
+  for (u64 y = 0; y < 16; ++y) {
+    StateVector shifted(n);
+    shifted.set_basis_state((y + 1) % 16);
+    shifted.apply_circuit(qft);
+
+    StateVector ramped(n);
+    ramped.set_basis_state(y);
+    ramped.apply_circuit(qft);
+    QuantumCircuit ramp(n);
+    append_phase_add_const(ramp, all_qubits(n), 1);
+    ramped.apply_circuit(ramp);
+
+    EXPECT_NEAR(overlap(shifted, ramped), 1.0, 1e-9) << "y=" << y;
+  }
+}
+
+TEST(QftProperties, AqftFidelityIncreasesWithDepth) {
+  // Fidelity of AQFT(d)|y> against QFT|y>, averaged over basis inputs,
+  // must be non-decreasing in d and approach 1.
+  const int n = 6;
+  const QuantumCircuit full = make_qft(n);
+  double prev = 0.0;
+  for (int d = 0; d <= n - 1; ++d) {
+    const QuantumCircuit approx = make_qft(n, d);
+    double fid = 0.0;
+    for (u64 y = 0; y < pow2(n); y += 5) {
+      StateVector a(n), b(n);
+      a.set_basis_state(y);
+      b.set_basis_state(y);
+      a.apply_circuit(approx);
+      b.apply_circuit(full);
+      fid += overlap(a, b);
+    }
+    EXPECT_GE(fid, prev - 1e-9) << "d=" << d;
+    prev = fid;
+  }
+  const double samples = std::ceil(pow2(6) / 5.0);
+  EXPECT_NEAR(prev / samples, 1.0, 1e-10);
+}
+
+TEST(QftProperties, AqftErrorScalesWithDroppedAngles) {
+  // The per-state worst-case phase error of AQFT(d) is bounded by the sum
+  // of dropped rotation angles: Σ over removed R_l of 2π/2^l. Check the
+  // measured infidelity respects that bound.
+  const int n = 6;
+  const QuantumCircuit full = make_qft(n);
+  for (int d = 1; d < n - 1; ++d) {
+    const QuantumCircuit approx = make_qft(n, d);
+    double dropped = 0.0;
+    for (int q = 1; q <= n; ++q)
+      for (int l = d + 2; l <= q; ++l) dropped += kTwoPi / std::ldexp(1.0, l);
+    double worst = 0.0;
+    for (u64 y = 0; y < pow2(n); ++y) {
+      StateVector a(n), b(n);
+      a.set_basis_state(y);
+      b.set_basis_state(y);
+      a.apply_circuit(approx);
+      b.apply_circuit(full);
+      worst = std::max(worst, 1.0 - overlap(a, b));
+    }
+    // 1 - |<ψ|φ>| <= total dropped phase (loose small-angle bound).
+    EXPECT_LE(worst, dropped) << "d=" << d;
+  }
+}
+
+TEST(QftProperties, DepthLogNKeepsAdditionReliable) {
+  // The paper's heuristic: d ≈ log2 n suffices for arithmetic. At n = 8,
+  // d = 3 must keep every classical sum's argmax correct with dominant
+  // probability.
+  const int n = 8;
+  AdderOptions opt;
+  opt.qft_depth = 3;
+  const QuantumCircuit qc = make_qfa(n, n, opt);
+  Pcg64 rng(77);
+  for (int rep = 0; rep < 12; ++rep) {
+    const u64 x = rng.uniform_int(256), y = rng.uniform_int(256);
+    StateVector sv(2 * n);
+    sv.set_basis_state(x | (y << n));
+    sv.apply_circuit(qc);
+    const auto marg = sv.marginal_probabilities(
+        {8, 9, 10, 11, 12, 13, 14, 15});
+    u64 best = 0;
+    for (u64 i = 1; i < marg.size(); ++i)
+      if (marg[i] > marg[best]) best = i;
+    ASSERT_EQ(best, (x + y) % 256);
+    EXPECT_GT(marg[best], 0.5);
+  }
+}
+
+TEST(QftProperties, SwapsOnlyReorderProbabilities) {
+  const int n = 4;
+  const QuantumCircuit plain = make_qft(n, kFullDepth, false);
+  const QuantumCircuit swapped = make_qft(n, kFullDepth, true);
+  StateVector a(n), b(n);
+  a.set_basis_state(11);
+  b.set_basis_state(11);
+  a.apply_circuit(plain);
+  b.apply_circuit(swapped);
+  const auto pa = a.probabilities();
+  const auto pb = b.probabilities();
+  for (u64 k = 0; k < pow2(n); ++k)
+    EXPECT_NEAR(pa[k], pb[reverse_bits(k, n)], 1e-10);
+}
+
+}  // namespace
+}  // namespace qfab

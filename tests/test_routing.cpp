@@ -1,0 +1,146 @@
+// Linear-chain routing: adjacency of every 2q gate, permutation-corrected
+// unitary equivalence, and the SWAP overhead on the paper's circuits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "exp/experiment.h"
+#include "transpile/routing.h"
+#include "transpile/transpile.h"
+
+namespace qfab {
+namespace {
+
+bool all_two_qubit_gates_adjacent(const QuantumCircuit& qc) {
+  for (const Gate& g : qc.gates())
+    if (g.arity() == 2 && std::abs(g.qubits[0] - g.qubits[1]) != 1)
+      return false;
+  return true;
+}
+
+TEST(Routing, AdjacentGatesNeedNoSwaps) {
+  QuantumCircuit qc(4);
+  qc.h(0);
+  qc.cx(0, 1);
+  qc.cx(2, 1);
+  qc.cx(3, 2);
+  const RoutedCircuit routed = route_linear(qc);
+  EXPECT_EQ(routed.swaps_inserted, 0u);
+  EXPECT_EQ(routed.circuit.gates().size(), qc.gates().size());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(routed.final_layout[i], i);
+}
+
+TEST(Routing, DistantGateGetsRouted) {
+  QuantumCircuit qc(5);
+  qc.cx(0, 4);
+  const RoutedCircuit routed = route_linear(qc);
+  EXPECT_GT(routed.swaps_inserted, 0u);
+  EXPECT_TRUE(all_two_qubit_gates_adjacent(routed.circuit));
+}
+
+TEST(Routing, RejectsThreeQubitGates) {
+  QuantumCircuit qc(3);
+  qc.ccp(0, 1, 2, 0.5);
+  EXPECT_THROW(route_linear(qc), CheckError);
+}
+
+TEST(Routing, RoutedCircuitComputesTheSameFunction) {
+  // Simulate logical vs routed circuits from random basis states and
+  // compare via the final layout permutation.
+  Pcg64 rng(11);
+  for (int rep = 0; rep < 5; ++rep) {
+    QuantumCircuit qc(5);
+    for (int i = 0; i < 30; ++i) {
+      const int q = static_cast<int>(rng.uniform_int(5));
+      int r = static_cast<int>(rng.uniform_int(5));
+      while (r == q) r = static_cast<int>(rng.uniform_int(5));
+      switch (rng.uniform_int(4)) {
+        case 0: qc.h(q); break;
+        case 1: qc.rz(q, rng.uniform() * 6); break;
+        case 2: qc.cx(q, r); break;
+        default: qc.cp(q, r, rng.uniform() * 3); break;
+      }
+    }
+    const RoutedCircuit routed = route_linear(qc);
+    EXPECT_TRUE(all_two_qubit_gates_adjacent(routed.circuit));
+
+    const u64 input = rng.uniform_int(32);
+    StateVector logical(5), physical(5);
+    logical.set_basis_state(input);
+    // The routed circuit assumes the identity initial layout: logical
+    // qubit q starts at chain slot q.
+    physical.set_basis_state(input);
+    logical.apply_circuit(qc);
+    physical.apply_circuit(routed.circuit);
+
+    // Compare marginals of each logical qubit through the layout.
+    for (int q = 0; q < 5; ++q) {
+      const auto ml = logical.marginal_probabilities({q});
+      const auto mp = physical.marginal_probabilities(
+          {routed.final_layout[static_cast<std::size_t>(q)]});
+      EXPECT_NEAR(ml[0], mp[0], 1e-9);
+    }
+    // Full-distribution check through the permutation.
+    const auto pl = logical.probabilities();
+    const auto pp = physical.probabilities();
+    for (u64 v = 0; v < 32; ++v) {
+      u64 permuted = 0;
+      for (int q = 0; q < 5; ++q)
+        if (get_bit(v, q))
+          permuted = set_bit(
+              permuted, routed.final_layout[static_cast<std::size_t>(q)]);
+      EXPECT_NEAR(pl[v], pp[permuted], 1e-9) << "v=" << v;
+    }
+  }
+}
+
+TEST(Routing, RoutedQubitsHelper) {
+  QuantumCircuit qc(3);
+  qc.cx(0, 2);
+  const RoutedCircuit routed = route_linear(qc);
+  const auto mapped = routed_qubits(routed, {0, 1, 2});
+  // A permutation of 0..2.
+  std::vector<int> sorted = mapped;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+  EXPECT_THROW(routed_qubits(routed, {7}), CheckError);
+}
+
+TEST(Routing, QfaSwapOverheadIsSubstantial) {
+  // Quantifies the connectivity cost the paper idealized away: routing
+  // the n=8 QFA onto a chain adds a large number of SWAPs (3 CX each).
+  CircuitSpec spec;
+  spec.n = 8;
+  const QuantumCircuit basis = build_transpiled_circuit(spec);
+  const RoutedCircuit routed = route_linear(basis);
+  EXPECT_TRUE(all_two_qubit_gates_adjacent(routed.circuit));
+  EXPECT_GT(routed.swaps_inserted, 50u);
+
+  const QuantumCircuit rebasis = transpile_to_basis(routed.circuit);
+  const std::size_t cx_full = basis.counts().two_qubit;
+  const std::size_t cx_routed = rebasis.counts().two_qubit;
+  EXPECT_GT(cx_routed, cx_full + 3 * 50);
+}
+
+TEST(Routing, RoutedQfaStillAddsCorrectly) {
+  CircuitSpec spec;
+  spec.n = 3;
+  const QuantumCircuit basis = build_transpiled_circuit(spec);
+  const RoutedCircuit routed = route_linear(basis);
+  const auto out_phys = routed_qubits(routed, output_qubits(spec));
+  for (u64 x = 0; x < 8; ++x)
+    for (u64 y = 0; y < 8; ++y) {
+      StateVector sv(6);
+      sv.set_basis_state(x | (y << 3));
+      sv.apply_circuit(routed.circuit);
+      const auto marg = sv.marginal_probabilities(out_phys);
+      u64 best = 0;
+      for (u64 i = 1; i < 8; ++i)
+        if (marg[i] > marg[best]) best = i;
+      ASSERT_EQ(best, (x + y) % 8) << x << "+" << y;
+    }
+}
+
+}  // namespace
+}  // namespace qfab

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arith/expected.h"
+#include "arith/qint.h"
+#include "qfb/weighted_sum.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+namespace {
+
+/// acc (width m) starts at acc0; terms are classical values on their own
+/// registers. Returns the measured accumulator.
+u64 run_weighted(const std::vector<std::pair<u64, int>>& operands,  // (value, bits)
+                 const std::vector<std::int64_t>& weights, int m, u64 acc0) {
+  QuantumCircuit qc(0);
+  std::vector<WeightedTerm> terms;
+  for (std::size_t k = 0; k < operands.size(); ++k) {
+    const QubitRange r =
+        qc.add_register("x" + std::to_string(k), operands[k].second);
+    terms.push_back(WeightedTerm{range_qubits(r), weights[k]});
+  }
+  const QubitRange acc = qc.add_register("acc", m);
+  append_weighted_sum(qc, terms, range_qubits(acc));
+
+  StateVector sv(qc.num_qubits());
+  u64 init = acc0 << acc.start;
+  int offset = 0;
+  for (const auto& [value, bits] : operands) {
+    init |= value << offset;
+    offset += bits;
+  }
+  sv.set_basis_state(init);
+  sv.apply_circuit(qc);
+
+  const auto marg = sv.marginal_probabilities(range_qubits(acc));
+  u64 best = 0;
+  for (u64 i = 1; i < marg.size(); ++i)
+    if (marg[i] > marg[best]) best = i;
+  EXPECT_NEAR(marg[best], 1.0, 1e-9);
+  return best;
+}
+
+TEST(WeightedSum, SingleTermUnitWeightIsAddition) {
+  for (u64 x = 0; x < 8; ++x)
+    EXPECT_EQ(run_weighted({{x, 3}}, {1}, 4, 5), (5 + x) % 16);
+}
+
+TEST(WeightedSum, PositiveWeights) {
+  // acc = 3*x + 2*y, x=5, y=6, acc0=0, m=6: 27.
+  EXPECT_EQ(run_weighted({{5, 3}, {6, 3}}, {3, 2}, 6, 0), 27u);
+}
+
+TEST(WeightedSum, NegativeWeightSubtracts) {
+  // acc = 10 + 2*3 - 1*4 = 12 (m=5).
+  EXPECT_EQ(run_weighted({{3, 3}, {4, 3}}, {2, -1}, 5, 10), 12u);
+  // Net negative wraps mod 2^m: 0 - 3*2 = -6 -> 32-6 = 26.
+  EXPECT_EQ(run_weighted({{2, 3}}, {-3}, 5, 0), 26u);
+}
+
+TEST(WeightedSum, ZeroWeightIsIdentity) {
+  EXPECT_EQ(run_weighted({{7, 3}}, {0}, 4, 9), 9u);
+}
+
+TEST(WeightedSum, LargeWeightWrapsModulo) {
+  // weight 20 on m=4 accumulator: 20*3 = 60 ≡ 12 (mod 16).
+  EXPECT_EQ(run_weighted({{3, 2}}, {20}, 4, 0), 12u);
+}
+
+TEST(WeightedSum, ExhaustiveTwoTermSweep) {
+  for (u64 x = 0; x < 4; ++x)
+    for (u64 y = 0; y < 4; ++y)
+      EXPECT_EQ(run_weighted({{x, 2}, {y, 2}}, {3, 5}, 5, 1),
+                (1 + 3 * x + 5 * y) % 32);
+}
+
+TEST(WeightedSum, SuperposedOperandSpreadsAccumulator) {
+  // x = (|1> + |2>)/√2, weight 2, acc 4 bits starting 0:
+  // acc ends in superposition of 2 and 4.
+  QuantumCircuit qc(0);
+  const QubitRange x = qc.add_register("x", 2);
+  const QubitRange acc = qc.add_register("acc", 4);
+  append_weighted_sum(qc, {WeightedTerm{range_qubits(x), 2}},
+                      range_qubits(acc));
+  StateVector sv = prepare_product_state(
+      6, {{x, QInt::uniform(2, {1, 2})}, {acc, QInt::classical(4, 0)}});
+  sv.apply_circuit(qc);
+  const auto marg = sv.marginal_probabilities(range_qubits(acc));
+  EXPECT_NEAR(marg[2], 0.5, 1e-9);
+  EXPECT_NEAR(marg[4], 0.5, 1e-9);
+}
+
+TEST(WeightedSum, ExpectedWeightedSumsHelperAgrees) {
+  const QInt a = QInt::uniform(3, {1, 2});
+  const QInt b = QInt::classical(3, 3);
+  const auto expected = expected_weighted_sums({{a, 2}, {b, -1}}, 0, 5);
+  // 2*{1,2} - 3 = {-1, 1} -> {31, 1}.
+  ASSERT_EQ(expected.size(), 2u);
+  EXPECT_EQ(expected[0], 1u);
+  EXPECT_EQ(expected[1], 31u);
+}
+
+}  // namespace
+}  // namespace qfab
