@@ -1,5 +1,6 @@
 #include "common/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace qfab {
@@ -70,24 +71,41 @@ ThreadPool& ThreadPool::shared() {
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body) {
+  // Chunk size 1 keeps the original per-index dynamic self-scheduling:
+  // instance costs vary (error trajectories replay different gate
+  // suffixes), so large static chunks would straggle.
+  parallel_for_chunked(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      1);
+}
+
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t chunk) {
   if (begin >= end) return;
   ThreadPool& pool = ThreadPool::shared();
   const std::size_t n = end - begin;
   if (pool.size() <= 1 || n == 1) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    body(begin, end);
     return;
   }
-  // Dynamic self-scheduling via a shared atomic cursor: instance costs vary
-  // (error trajectories replay different gate suffixes), so static chunks
-  // would straggle.
+  if (chunk == 0) {
+    // Several chunks per worker: amortizes dispatch while leaving the
+    // dynamic scheduler room to balance uneven chunk costs.
+    chunk = std::max<std::size_t>(1, n / (pool.size() * 8));
+  }
   auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
-  const std::size_t jobs = std::min(pool.size(), n);
+  const std::size_t jobs = std::min(pool.size(), (n + chunk - 1) / chunk);
   for (std::size_t j = 0; j < jobs; ++j) {
-    pool.submit([cursor, end, &body] {
+    pool.submit([cursor, end, chunk, &body] {
       for (;;) {
-        const std::size_t i = cursor->fetch_add(1);
-        if (i >= end) return;
-        body(i);
+        const std::size_t lo = cursor->fetch_add(chunk);
+        if (lo >= end) return;
+        body(lo, std::min(lo + chunk, end));
       }
     });
   }

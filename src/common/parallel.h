@@ -55,4 +55,14 @@ class ThreadPool {
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
+/// Chunked variant: body(lo, hi) receives half-open sub-ranges of
+/// [begin, end), so the std::function dispatch happens once per chunk
+/// instead of once per index. Chunks are claimed dynamically (work
+/// stealing via a shared cursor) to tolerate uneven per-index cost.
+/// `chunk == 0` picks a size that gives each worker several chunks.
+void parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t chunk = 0);
+
 }  // namespace qfab

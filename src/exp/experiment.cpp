@@ -90,9 +90,10 @@ StateVector make_initial_state(const CircuitSpec& spec,
 InstanceContext::InstanceContext(const QuantumCircuit& transpiled,
                                  const CircuitSpec& spec,
                                  const ArithInstance& inst,
-                                 const RunOptions& run)
+                                 const RunOptions& run,
+                                 std::shared_ptr<const FusedPlan> plan)
     : clean_(transpiled, make_initial_state(spec, inst),
-             run.checkpoint_interval),
+             run.checkpoint_interval, std::move(plan)),
       output_qubits_(output_qubits(spec)),
       correct_(correct_outputs(spec, inst)) {}
 

@@ -79,8 +79,12 @@ struct RunOptions {
 /// checkpoints) plus the instance's ground truth.
 class InstanceContext {
  public:
+  /// `plan` optionally shares one compiled FusedPlan for `transpiled`
+  /// across every instance of a sweep (see run_sweep); when null the
+  /// CleanRun compiles its own.
   InstanceContext(const QuantumCircuit& transpiled, const CircuitSpec& spec,
-                  const ArithInstance& inst, const RunOptions& run);
+                  const ArithInstance& inst, const RunOptions& run,
+                  std::shared_ptr<const FusedPlan> plan = nullptr);
 
   /// Evaluate the instance at one noise point.
   InstanceOutcome evaluate(const NoiseModel& noise, const RunOptions& run,

@@ -50,32 +50,38 @@ SweepResult run_sweep(const SweepConfig& config,
       n_depths, std::vector<std::vector<InstanceOutcome>>(
                     n_rates, std::vector<InstanceOutcome>(n_inst)));
 
-  // Transpile once per depth (cheap next to simulation, but shared).
+  // Transpile and compile the execution plan once per depth (cheap next to
+  // simulation, but shared by every instance and trajectory).
   std::vector<QuantumCircuit> circuits;
+  std::vector<std::shared_ptr<const FusedPlan>> plans;
   circuits.reserve(n_depths);
+  plans.reserve(n_depths);
   for (int depth : config.depths) {
     CircuitSpec spec = config.base;
     spec.depth = depth;
     circuits.push_back(build_transpiled_circuit(spec));
+    plans.push_back(std::make_shared<const FusedPlan>(circuits.back()));
   }
 
-  parallel_for(0, n_inst, [&](std::size_t i) {
-    for (std::size_t d = 0; d < n_depths; ++d) {
-      CircuitSpec spec = config.base;
-      spec.depth = config.depths[d];
-      // One ideal run (with checkpoints) serves every rate cluster.
-      const InstanceContext context(circuits[d], spec, instances[i],
-                                    config.run);
-      for (std::size_t r = 0; r < n_rates; ++r) {
-        NoiseModel noise;
-        (config.vary_2q ? noise.p2q : noise.p1q) = rates[r] / 100.0;
-        noise.noisy_rz = config.run.noisy_rz;
-        noise.noisy_id = config.run.noisy_id;
-        Pcg64 rng = point_rng(config.seed, i, d, r);
-        outcomes[d][r][i] = context.evaluate(noise, config.run, rng);
+  parallel_for_chunked(0, n_inst, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t d = 0; d < n_depths; ++d) {
+        CircuitSpec spec = config.base;
+        spec.depth = config.depths[d];
+        // One ideal run (with checkpoints) serves every rate cluster.
+        const InstanceContext context(circuits[d], spec, instances[i],
+                                      config.run, plans[d]);
+        for (std::size_t r = 0; r < n_rates; ++r) {
+          NoiseModel noise;
+          (config.vary_2q ? noise.p2q : noise.p1q) = rates[r] / 100.0;
+          noise.noisy_rz = config.run.noisy_rz;
+          noise.noisy_id = config.run.noisy_id;
+          Pcg64 rng = point_rng(config.seed, i, d, r);
+          outcomes[d][r][i] = context.evaluate(noise, config.run, rng);
+        }
       }
+      if (config.progress) std::cerr << '.' << std::flush;
     }
-    if (config.progress) std::cerr << '.' << std::flush;
   });
   if (config.progress) std::cerr << '\n';
 

@@ -6,18 +6,27 @@
 namespace qfab {
 
 CleanRun::CleanRun(const QuantumCircuit& circuit, StateVector initial,
-                   std::size_t checkpoint_interval)
-    : circuit_(circuit), interval_(checkpoint_interval) {
-  QFAB_CHECK(circuit_.num_qubits() == initial.num_qubits());
+                   std::size_t checkpoint_interval,
+                   std::shared_ptr<const FusedPlan> plan)
+    : plan_(std::move(plan)), interval_(checkpoint_interval) {
+  QFAB_CHECK(circuit.num_qubits() == initial.num_qubits());
   QFAB_CHECK(interval_ >= 1);
-  const std::size_t total = circuit_.gates().size();
+  if (!plan_) {
+    plan_ = std::make_shared<const FusedPlan>(circuit);
+  } else {
+    // A shared plan must describe this exact circuit: trajectory injection
+    // addresses gates by index through the plan's mapping.
+    QFAB_CHECK(plan_->circuit().num_qubits() == circuit.num_qubits());
+    QFAB_CHECK(plan_->gate_count() == circuit.gates().size());
+  }
+  const std::size_t total = circuit.gates().size();
   checkpoints_.reserve(total / interval_ + 2);
   checkpoints_.push_back(initial);  // after 0 gates
   StateVector sv = std::move(initial);
   std::size_t applied = 0;
   while (applied < total) {
     const std::size_t next = std::min(applied + interval_, total);
-    sv.apply_circuit_range(circuit_, applied, next);
+    plan_->apply_range(sv, applied, next);
     applied = next;
     checkpoints_.push_back(sv);
     last_checkpoint_gates_ = applied;
@@ -32,12 +41,12 @@ std::vector<double> CleanRun::ideal_marginal(
 }
 
 StateVector CleanRun::state_at(std::size_t gate_count) const {
-  QFAB_CHECK(gate_count <= circuit_.gates().size());
+  QFAB_CHECK(gate_count <= plan_->gate_count());
   const std::size_t k = std::min(gate_count / interval_,
                                  checkpoints_.size() - 1);
   const std::size_t base_gates = std::min(k * interval_, gate_count);
   StateVector sv = checkpoints_[k];
-  sv.apply_circuit_range(circuit_, base_gates, gate_count);
+  plan_->apply_range(sv, base_gates, gate_count);
   return sv;
 }
 
@@ -148,7 +157,7 @@ StateVector run_trajectory(const CleanRun& clean,
     QFAB_CHECK(ev.gate_index < total);
     // Replay ideal gates up to and including the faulty one.
     if (ev.gate_index + 1 > applied) {
-      sv.apply_circuit_range(qc, applied, ev.gate_index + 1);
+      clean.plan().apply_range(sv, applied, ev.gate_index + 1);
       applied = ev.gate_index + 1;
     }
     const Gate& g = qc.gates()[ev.gate_index];
@@ -158,7 +167,7 @@ StateVector run_trajectory(const CleanRun& clean,
       sv.apply_pauli(ev.pauli1, g.qubits[1]);
     }
   }
-  sv.apply_circuit_range(qc, applied, total);
+  clean.plan().apply_range(sv, applied, total);
   return sv;
 }
 

@@ -8,12 +8,21 @@
 // CleanRun caches the ideal evolution with periodic state checkpoints so a
 // trajectory only replays gates from its first error onward — on the
 // paper's circuits that halves the per-trajectory cost on average.
+//
+// All circuit replay (checkpoint construction, state_at, trajectory
+// resumption) runs through a FusedPlan (sim/fusion.h): segments between
+// checkpoints and error-injection sites execute fused, and the plan's
+// per-gate fallback handles boundaries that land inside a fused op. The
+// plan is shareable across CleanRuns of the same circuit (one compile per
+// transpiled circuit, not per operand instance).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "noise/noise_model.h"
+#include "sim/fusion.h"
 #include "sim/statevector.h"
 
 namespace qfab {
@@ -30,10 +39,14 @@ struct ErrorEvent {
 /// with checkpoints every `checkpoint_interval` gates.
 class CleanRun {
  public:
+  /// `plan` optionally shares a pre-compiled FusedPlan for `circuit`
+  /// (must match it gate-for-gate); when null a plan is compiled here.
   CleanRun(const QuantumCircuit& circuit, StateVector initial,
-           std::size_t checkpoint_interval = 64);
+           std::size_t checkpoint_interval = 64,
+           std::shared_ptr<const FusedPlan> plan = nullptr);
 
-  const QuantumCircuit& circuit() const { return circuit_; }
+  const QuantumCircuit& circuit() const { return plan_->circuit(); }
+  const FusedPlan& plan() const { return *plan_; }
   /// State after the full circuit (global phase *not* applied — it never
   /// affects probabilities).
   const StateVector& final_state() const { return checkpoints_.back(); }
@@ -45,7 +58,7 @@ class CleanRun {
   StateVector state_at(std::size_t gate_count) const;
 
  private:
-  QuantumCircuit circuit_;
+  std::shared_ptr<const FusedPlan> plan_;
   std::size_t interval_;
   std::vector<StateVector> checkpoints_;  // checkpoints_[k] = after k*interval
                                           // gates; last = final state

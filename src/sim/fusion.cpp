@@ -1,0 +1,811 @@
+#include "sim/fusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace qfab {
+
+namespace {
+
+cplx expi(double t) { return {std::cos(t), std::sin(t)}; }
+
+int index_of(const std::vector<int>& v, int q) {
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i] == q) return static_cast<int>(i);
+  return -1;
+}
+
+/// Row-major flattening of a square Matrix.
+std::vector<cplx> to_flat(const Matrix& m) {
+  std::vector<cplx> out(m.rows() * m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) out[r * m.cols() + c] = m.at(r, c);
+  return out;
+}
+
+/// Row-major product a*b of two d x d flats (b applied first).
+std::vector<cplx> matmul_flat(const std::vector<cplx>& a,
+                              const std::vector<cplx>& b, std::size_t d) {
+  std::vector<cplx> out(d * d, cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < d; ++r)
+    for (std::size_t k = 0; k < d; ++k) {
+      const cplx ark = a[r * d + k];
+      for (std::size_t c = 0; c < d; ++c) out[r * d + c] += ark * b[k * d + c];
+    }
+  return out;
+}
+
+/// Diagonal entries of a diagonal gate over its local bits.
+std::vector<cplx> gate_diagonal(const Gate& g) {
+  const Matrix m = g.matrix();
+  std::vector<cplx> d(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) d[i] = m.at(i, i);
+  return d;
+}
+
+int gate_max_qubit(const Gate& g) {
+  int mx = -1;
+  for (int b = 0; b < g.arity(); ++b) mx = std::max(mx, g.qubits[b]);
+  return mx;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk kernels. Every kernel operates on a contiguous power-of-two slice
+// `a[0, len)` whose base index is tile-aligned, so a qubit q with
+// 2^q < len addresses bits of the in-chunk offset directly. The full
+// vector is just the largest chunk.
+// ---------------------------------------------------------------------------
+
+void k_matrix1(cplx* a, u64 len, int q, const cplx* m) {
+  const u64 bit = u64{1} << q;
+  const cplx m00 = m[0], m01 = m[1], m10 = m[2], m11 = m[3];
+  for (u64 base = 0; base < len; base += 2 * bit)
+    for (u64 off = 0; off < bit; ++off) {
+      const u64 i0 = base + off;
+      const u64 i1 = i0 | bit;
+      const cplx v0 = a[i0], v1 = a[i1];
+      a[i0] = m00 * v0 + m01 * v1;
+      a[i1] = m10 * v0 + m11 * v1;
+    }
+}
+
+void k_matrix2(cplx* a, u64 len, int q0, int q1, const cplx* m) {
+  const int lo = std::min(q0, q1), hi = std::max(q0, q1);
+  const u64 b0 = u64{1} << q0, b1 = u64{1} << q1;
+  const u64 quarter = len >> 2;
+  for (u64 g = 0; g < quarter; ++g) {
+    const u64 base = insert_two_zero_bits(g, lo, hi);
+    const u64 i0 = base, i1 = base | b0, i2 = base | b1, i3 = base | b0 | b1;
+    const cplx v0 = a[i0], v1 = a[i1], v2 = a[i2], v3 = a[i3];
+    a[i0] = m[0] * v0 + m[1] * v1 + m[2] * v2 + m[3] * v3;
+    a[i1] = m[4] * v0 + m[5] * v1 + m[6] * v2 + m[7] * v3;
+    a[i2] = m[8] * v0 + m[9] * v1 + m[10] * v2 + m[11] * v3;
+    a[i3] = m[12] * v0 + m[13] * v1 + m[14] * v2 + m[15] * v3;
+  }
+}
+
+void k_phase_on_bit(cplx* a, u64 len, int q, cplx phase) {
+  const u64 bit = u64{1} << q;
+  for (u64 base = bit; base < len; base += 2 * bit)
+    for (u64 off = 0; off < bit; ++off) a[base + off] *= phase;
+}
+
+void k_diag1(cplx* a, u64 len, int q, const cplx* table) {
+  // Strided two-phase pass — no gather needed.
+  const u64 bit = u64{1} << q;
+  const cplx p0 = table[0], p1 = table[1];
+  for (u64 base = 0; base < len; base += 2 * bit)
+    for (u64 off = 0; off < bit; ++off) {
+      a[base + off] *= p0;
+      a[base + off + bit] *= p1;
+    }
+}
+
+void k_diag(cplx* a, u64 len, const FusedOp::DiagShift* ss, int ns,
+            const cplx* table) {
+  if (ns == 1) {
+    // One contiguous qubit run: key = (i >> shift) & mask.
+    const int sh = ss[0].shift;
+    const u64 m = ss[0].mask;
+    for (u64 i = 0; i < len; ++i) a[i] *= table[(i >> sh) & m];
+    return;
+  }
+  if (ns == 2) {
+    const int sh0 = ss[0].shift, sh1 = ss[1].shift, out1 = ss[1].out;
+    const u64 m0 = ss[0].mask, m1 = ss[1].mask;
+    for (u64 i = 0; i < len; ++i)
+      a[i] *= table[((i >> sh0) & m0) | (((i >> sh1) & m1) << out1)];
+    return;
+  }
+  for (u64 i = 0; i < len; ++i) {
+    u64 key = 0;
+    for (int s = 0; s < ns; ++s)
+      key |= ((i >> ss[s].shift) & ss[s].mask) << ss[s].out;
+    a[i] *= table[key];
+  }
+}
+
+/// Per-gate chunk kernel mirroring StateVector::apply_gate, with one
+/// deliberate difference: RZ applies only diag(1, e^{i.theta}) — the
+/// e^{-i.theta/2} scalar is accumulated by the *caller* into the state's
+/// pending global phase, once per gate (not once per tile).
+void k_gate(cplx* a, u64 len, const Gate& g) {
+  switch (g.kind) {
+    case GateKind::kId:
+      return;
+    case GateKind::kX: {
+      const u64 bit = u64{1} << g.qubits[0];
+      for (u64 base = 0; base < len; base += 2 * bit)
+        for (u64 off = 0; off < bit; ++off)
+          std::swap(a[base + off], a[base + off + bit]);
+      return;
+    }
+    case GateKind::kY: {
+      const u64 bit = u64{1} << g.qubits[0];
+      for (u64 base = 0; base < len; base += 2 * bit)
+        for (u64 off = 0; off < bit; ++off) {
+          const u64 i0 = base + off;
+          const u64 i1 = i0 + bit;
+          const cplx v0 = a[i0], v1 = a[i1];
+          a[i0] = cplx{v1.imag(), -v1.real()};  // -i * v1
+          a[i1] = cplx{-v0.imag(), v0.real()};  //  i * v0
+        }
+      return;
+    }
+    case GateKind::kZ:
+      k_phase_on_bit(a, len, g.qubits[0], cplx{-1.0, 0.0});
+      return;
+    case GateKind::kRZ:
+      k_phase_on_bit(a, len, g.qubits[0], expi(g.params[0]));
+      return;
+    case GateKind::kP:
+      k_phase_on_bit(a, len, g.qubits[0], expi(g.params[0]));
+      return;
+    case GateKind::kCX: {
+      const u64 cbit = u64{1} << g.qubits[1];
+      const u64 tbit = u64{1} << g.qubits[0];
+      const int lo = std::min(g.qubits[0], g.qubits[1]);
+      const int hi = std::max(g.qubits[0], g.qubits[1]);
+      const u64 quarter = len >> 2;
+      for (u64 gi = 0; gi < quarter; ++gi) {
+        const u64 i0 = insert_two_zero_bits(gi, lo, hi) | cbit;
+        std::swap(a[i0], a[i0 | tbit]);
+      }
+      return;
+    }
+    case GateKind::kCZ:
+    case GateKind::kCP: {
+      const cplx ph =
+          g.kind == GateKind::kCZ ? cplx{-1.0, 0.0} : expi(g.params[0]);
+      const int lo = std::min(g.qubits[0], g.qubits[1]);
+      const int hi = std::max(g.qubits[0], g.qubits[1]);
+      const u64 mask = (u64{1} << g.qubits[0]) | (u64{1} << g.qubits[1]);
+      const u64 quarter = len >> 2;
+      for (u64 gi = 0; gi < quarter; ++gi)
+        a[insert_two_zero_bits(gi, lo, hi) | mask] *= ph;
+      return;
+    }
+    case GateKind::kCCP: {
+      const cplx ph = expi(g.params[0]);
+      int qs[3] = {g.qubits[0], g.qubits[1], g.qubits[2]};
+      std::sort(qs, qs + 3);
+      const u64 mask =
+          (u64{1} << qs[0]) | (u64{1} << qs[1]) | (u64{1} << qs[2]);
+      const u64 eighth = len >> 3;
+      for (u64 gi = 0; gi < eighth; ++gi) {
+        const u64 i =
+            insert_zero_bit(insert_two_zero_bits(gi, qs[0], qs[1]), qs[2]);
+        a[i | mask] *= ph;
+      }
+      return;
+    }
+    case GateKind::kSWAP: {
+      const int lo = std::min(g.qubits[0], g.qubits[1]);
+      const int hi = std::max(g.qubits[0], g.qubits[1]);
+      const u64 lobit = u64{1} << lo, hibit = u64{1} << hi;
+      const u64 quarter = len >> 2;
+      for (u64 gi = 0; gi < quarter; ++gi) {
+        const u64 base = insert_two_zero_bits(gi, lo, hi);
+        std::swap(a[base | lobit], a[base | hibit]);
+      }
+      return;
+    }
+    case GateKind::kCCX: {
+      const u64 cmask = (u64{1} << g.qubits[1]) | (u64{1} << g.qubits[2]);
+      const u64 tbit = u64{1} << g.qubits[0];
+      for (u64 i = 0; i < len; ++i)
+        if ((i & cmask) == cmask && !(i & tbit)) std::swap(a[i], a[i | tbit]);
+      return;
+    }
+    case GateKind::kH:
+    case GateKind::kSX:
+    case GateKind::kSXdg:
+    case GateKind::kRY:
+    case GateKind::kRX:
+    case GateKind::kU: {
+      const std::vector<cplx> m = to_flat(g.matrix());
+      k_matrix1(a, len, g.qubits[0], m.data());
+      return;
+    }
+    case GateKind::kCH: {
+      const std::vector<cplx> m = to_flat(g.matrix());
+      k_matrix2(a, len, g.qubits[0], g.qubits[1], m.data());
+      return;
+    }
+  }
+  QFAB_CHECK_MSG(false, "unhandled gate " << g.to_string());
+}
+
+// ---------------------------------------------------------------------------
+// Compilation.
+//
+// Gates are converted 1:1 into ops, then rewritten to a fixpoint by three
+// passes:
+//  * merge:    cost-gated pairwise fusion of adjacent ops (the gate only
+//              accepts merges whose fused kernel is no more expensive than
+//              running the two ops separately — a dense 4x4 must not
+//              swallow a cheap CX quarter-swap and an RZ half-pass),
+//  * sandwich: detects runs on one qubit pair whose 4x4 product is
+//              *exactly* diagonal (CX·D·CX conjugation yields structural
+//              zeros, so each transpiled CP block collapses) and replaces
+//              them with a phase-table op — the one rewrite that has to
+//              pass through an intermediate more-expensive form,
+//  * simplify: converts dense ops with exactly zero off-diagonals to
+//              kDiagonal, drops diagonal qubits the table does not depend
+//              on, and reduces constant tables to scalar (k = 0) ops that
+//              execute as pending global phase.
+// All rewrites are exact: off-diagonals are dropped only when they are
+// IEEE zeros (products of permutation and diagonal factors), so fused
+// execution stays bit-compatible with the reference path.
+// ---------------------------------------------------------------------------
+
+/// Relative kernel cost per amplitude of a fused op of the given kind
+/// (`diag_k` = table qubits, ignored for dense kinds).
+double kind_cost(FusedOp::Kind kind, std::size_t diag_k) {
+  switch (kind) {
+    case FusedOp::Kind::kDiagonal:
+      if (diag_k == 0) return 0.05;  // executes as pending global phase
+      if (diag_k == 1) return 0.7;
+      return 1.0 + 0.1 * static_cast<double>(diag_k);
+    case FusedOp::Kind::kMatrix1:
+      return 2.0;
+    case FusedOp::Kind::kMatrix2:
+      return 4.0;
+    case FusedOp::Kind::kGate:
+      return 1.0;  // CCX is the only multi-gate-incapable passthrough
+  }
+  return 1.0;
+}
+
+/// Relative kernel cost per amplitude of an op, used to gate merges.
+/// Single-gate ops are priced at their demoted per-gate kernel (a lone CX
+/// is a quarter-swap, not a dense 4x4).
+double op_cost(const FusedOp& op, const std::vector<Gate>& gates) {
+  if (op.gate_count() == 1) {
+    switch (gates[op.gate_begin].kind) {
+      case GateKind::kId:
+        return 0.0;
+      case GateKind::kH:
+      case GateKind::kSX:
+      case GateKind::kSXdg:
+      case GateKind::kRY:
+      case GateKind::kRX:
+      case GateKind::kU:
+        return 2.0;  // dense 2x2
+      case GateKind::kCH:
+        return 4.0;  // dense 4x4
+      case GateKind::kCCX:
+        return 1.0;
+      default:
+        return 0.6;  // swap / phase strided kernels
+    }
+  }
+  return kind_cost(op.kind, op.qubits.size());
+}
+
+/// The qubits an op acts on (empty for scalar diagonals).
+std::vector<int> op_qubits(const FusedOp& op) {
+  switch (op.kind) {
+    case FusedOp::Kind::kMatrix1:
+      return {op.q0};
+    case FusedOp::Kind::kMatrix2:
+      return {op.q0, op.q1};
+    case FusedOp::Kind::kDiagonal:
+      return op.qubits;
+    case FusedOp::Kind::kGate:
+      return {};  // treated as unmergeable by callers
+  }
+  return {};
+}
+
+/// Extend a diagonal table from `qubits` to the sorted superset
+/// `new_qubits`.
+void extend_diagonal(std::vector<int>& qubits, std::vector<cplx>& phases,
+                     const std::vector<int>& new_qubits) {
+  if (qubits == new_qubits) return;
+  std::vector<int> oldpos(qubits.size());
+  for (std::size_t b = 0; b < qubits.size(); ++b)
+    oldpos[b] = index_of(new_qubits, qubits[b]);
+  std::vector<cplx> np(pow2(static_cast<int>(new_qubits.size())));
+  for (u64 key = 0; key < np.size(); ++key) {
+    u64 okey = 0;
+    for (std::size_t b = 0; b < oldpos.size(); ++b)
+      okey |= ((key >> oldpos[b]) & u64{1}) << b;
+    np[key] = phases[okey];
+  }
+  qubits = new_qubits;
+  phases = std::move(np);
+}
+
+/// Sorted union of two qubit lists.
+std::vector<int> qubit_union(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  std::vector<int> u = a;
+  for (int q : b)
+    if (index_of(u, q) < 0)
+      u.insert(std::upper_bound(u.begin(), u.end(), q), q);
+  return u;
+}
+
+/// An op's dense matrix in the local basis where bit b is global qubit
+/// `qs[b]`. Requires op_qubits(op) to be a subset of `qs`.
+std::vector<cplx> op_matrix_on(const FusedOp& op, const std::vector<int>& qs) {
+  const int k = static_cast<int>(qs.size());
+  const std::size_t d = pow2(k);
+  switch (op.kind) {
+    case FusedOp::Kind::kMatrix1:
+      return to_flat(embed_gate(Matrix{{op.m[0], op.m[1]}, {op.m[2], op.m[3]}},
+                                {index_of(qs, op.q0)}, k));
+    case FusedOp::Kind::kMatrix2: {
+      Matrix m(4, 4);
+      for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c) m.at(r, c) = op.m[r * 4 + c];
+      return to_flat(
+          embed_gate(m, {index_of(qs, op.q0), index_of(qs, op.q1)}, k));
+    }
+    case FusedOp::Kind::kDiagonal: {
+      std::vector<cplx> m(d * d, cplx{0.0, 0.0});
+      std::vector<int> pos(op.qubits.size());
+      for (std::size_t b = 0; b < op.qubits.size(); ++b)
+        pos[b] = index_of(qs, op.qubits[b]);
+      for (u64 key = 0; key < d; ++key) {
+        u64 dk = 0;
+        for (std::size_t b = 0; b < pos.size(); ++b)
+          dk |= ((key >> pos[b]) & u64{1}) << b;
+        m[key * d + key] = op.phases[dk];
+      }
+      return m;
+    }
+    case FusedOp::Kind::kGate:
+      break;
+  }
+  QFAB_CHECK_MSG(false, "op has no dense form");
+  return {};
+}
+
+bool exactly_diagonal(const std::vector<cplx>& m, std::size_t d) {
+  for (std::size_t r = 0; r < d; ++r)
+    for (std::size_t c = 0; c < d; ++c)
+      if (r != c && !(m[r * d + c] == cplx{0.0, 0.0})) return false;
+  return true;
+}
+
+/// Convert a dense op with exactly zero off-diagonals to kDiagonal.
+void dense_to_diagonal(FusedOp& op) {
+  if (op.kind == FusedOp::Kind::kMatrix1) {
+    op.kind = FusedOp::Kind::kDiagonal;
+    op.qubits = {op.q0};
+    op.phases = {op.m[0], op.m[3]};
+  } else {
+    QFAB_CHECK(op.kind == FusedOp::Kind::kMatrix2);
+    const int lo = std::min(op.q0, op.q1), hi = std::max(op.q0, op.q1);
+    op.kind = FusedOp::Kind::kDiagonal;
+    op.qubits = {lo, hi};
+    op.phases.assign(4, cplx{0.0, 0.0});
+    for (u64 d = 0; d < 4; ++d) {
+      // Local key d has bit 0 = q0; map to sorted (lo, hi) order.
+      const u64 key = op.q0 == lo ? d : ((d >> 1) | ((d & 1) << 1));
+      op.phases[key] = op.m[d * 4 + d];
+    }
+  }
+  op.q0 = op.q1 = -1;
+  op.m.clear();
+}
+
+/// Drop diagonal qubits the table does not depend on (exact equality) and
+/// collapse all-constant tables to scalar (k = 0) ops.
+bool reduce_diagonal(FusedOp& op) {
+  bool changed = false;
+  for (std::size_t b = 0; b < op.qubits.size();) {
+    const u64 bit = u64{1} << b;
+    bool relevant = false;
+    for (u64 key = 0; key < op.phases.size() && !relevant; ++key)
+      if (!(key & bit) && !(op.phases[key] == op.phases[key | bit]))
+        relevant = true;
+    if (relevant) {
+      ++b;
+      continue;
+    }
+    std::vector<cplx> np(op.phases.size() / 2);
+    for (u64 key = 0; key < np.size(); ++key) {
+      const u64 low = key & (bit - 1);
+      np[key] = op.phases[((key ^ low) << 1) | low];
+    }
+    op.phases = std::move(np);
+    op.qubits.erase(op.qubits.begin() + static_cast<std::ptrdiff_t>(b));
+    changed = true;
+  }
+  if (changed)
+    op.max_qubit = op.qubits.empty() ? -1 : op.qubits.back();
+  return changed;
+}
+
+/// Try to fuse `B` (applied after `A`) into `A`. Accepts only merges whose
+/// fused kernel is no more expensive than running the two ops separately.
+bool try_merge_ops(FusedOp& A, const FusedOp& B,
+                   const std::vector<Gate>& gates, int cap) {
+  using K = FusedOp::Kind;
+  if (A.kind == K::kGate || B.kind == K::kGate) return false;
+  const double budget = op_cost(A, gates) + op_cost(B, gates) + 1e-9;
+  const auto finish = [&](K kind) {
+    A.kind = kind;
+    A.gate_end = B.gate_end;
+    A.max_qubit = std::max(A.max_qubit, B.max_qubit);
+  };
+
+  // Diagonal x diagonal: pointwise product over the qubit union.
+  if (A.kind == K::kDiagonal && B.kind == K::kDiagonal) {
+    const std::vector<int> u = qubit_union(A.qubits, B.qubits);
+    if (static_cast<int>(u.size()) > cap) return false;
+    if (kind_cost(K::kDiagonal, u.size()) > budget) return false;
+    extend_diagonal(A.qubits, A.phases, u);
+    std::vector<int> bq = B.qubits;
+    std::vector<cplx> bp = B.phases;
+    extend_diagonal(bq, bp, u);
+    for (std::size_t k = 0; k < A.phases.size(); ++k) A.phases[k] *= bp[k];
+    finish(K::kDiagonal);
+    return true;
+  }
+
+  // Anything on a kMatrix2's pair folds into the dense 4x4.
+  if (A.kind == K::kMatrix2 || B.kind == K::kMatrix2) {
+    const FusedOp& m2 = A.kind == K::kMatrix2 ? A : B;
+    const int pq0 = m2.q0, pq1 = m2.q1;
+    for (const FusedOp* op : {static_cast<const FusedOp*>(&A), &B})
+      for (int q : op_qubits(*op))
+        if (q != pq0 && q != pq1) return false;
+    if (kind_cost(K::kMatrix2, 0) > budget) return false;
+    A.m = matmul_flat(op_matrix_on(B, {pq0, pq1}),
+                      op_matrix_on(A, {pq0, pq1}), 4);
+    A.q0 = pq0;
+    A.q1 = pq1;
+    A.qubits.clear();
+    A.phases.clear();
+    finish(K::kMatrix2);
+    return true;
+  }
+
+  // 1-qubit dense chains: kMatrix1 with kMatrix1 / single-qubit diagonal /
+  // scalar diagonal, all on one qubit.
+  if (A.kind != K::kMatrix1 && B.kind != K::kMatrix1) return false;
+  int q = -1;
+  for (const FusedOp* op : {static_cast<const FusedOp*>(&A), &B})
+    for (int oq : op_qubits(*op)) {
+      if (q < 0) q = oq;
+      else if (q != oq) return false;
+    }
+  if (q < 0 || kind_cost(K::kMatrix1, 0) > budget) return false;
+  const auto to2 = [&](const FusedOp& op) -> std::vector<cplx> {
+    if (op.kind == K::kMatrix1) return op.m;
+    if (op.qubits.empty())
+      return {op.phases[0], cplx{0.0, 0.0}, cplx{0.0, 0.0}, op.phases[0]};
+    return {op.phases[0], cplx{0.0, 0.0}, cplx{0.0, 0.0}, op.phases[1]};
+  };
+  A.m = matmul_flat(to2(B), to2(A), 2);
+  A.q0 = q;
+  A.qubits.clear();
+  A.phases.clear();
+  finish(K::kMatrix1);
+  return true;
+}
+
+bool merge_pass(std::vector<FusedOp>& ops, const std::vector<Gate>& gates,
+                int cap) {
+  bool changed = false;
+  std::size_t i = 0;
+  while (i + 1 < ops.size()) {
+    if (try_merge_ops(ops[i], ops[i + 1], gates, cap)) {
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      changed = true;
+      if (i > 0) --i;  // the grown op may now merge with its left neighbor
+    } else {
+      ++i;
+    }
+  }
+  return changed;
+}
+
+/// Collapse runs confined to a small qubit set (up to 3 qubits, greedily
+/// grown from a kMatrix2's pair) whose product is *exactly* diagonal
+/// (CX·D·CX conjugation yields structural IEEE zeros) into a phase-table
+/// op. Each transpiled CP block collapses on its pair; transpiled CCP
+/// blocks, whose CX sandwiches straddle three qubits, collapse on a
+/// triple. This is the rewrite the pairwise cost gate cannot reach: it
+/// must pass through an intermediate dense matrix that is more expensive
+/// than its parts.
+bool sandwich_pass(std::vector<FusedOp>& ops, const std::vector<Gate>& gates) {
+  constexpr std::size_t kMaxSet = 3;
+  bool changed = false;
+  for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+    if (ops[i].kind != FusedOp::Kind::kMatrix2) continue;
+    // Greedily grow the qubit set over the following ops.
+    std::vector<int> set = {std::min(ops[i].q0, ops[i].q1),
+                            std::max(ops[i].q0, ops[i].q1)};
+    std::size_t j = i + 1;
+    while (j < ops.size() && ops[j].kind != FusedOp::Kind::kGate) {
+      std::vector<int> grown = qubit_union(set, op_qubits(ops[j]));
+      if (grown.size() > kMaxSet) break;
+      set = std::move(grown);
+      ++j;
+    }
+    if (j < i + 2) continue;
+    // Longest prefix of the run with an exactly diagonal product.
+    const std::size_t d = pow2(static_cast<int>(set.size()));
+    std::vector<cplx> prod = op_matrix_on(ops[i], set);
+    double sum = op_cost(ops[i], gates);
+    std::size_t best_end = 0;
+    std::vector<cplx> best_prod;
+    double best_sum = 0.0;
+    for (std::size_t t = i + 1; t < j; ++t) {
+      prod = matmul_flat(op_matrix_on(ops[t], set), prod, d);
+      sum += op_cost(ops[t], gates);
+      if (exactly_diagonal(prod, d)) {
+        best_end = t + 1;
+        best_prod = prod;
+        best_sum = sum;
+      }
+    }
+    if (best_end == 0) continue;
+    FusedOp rep;
+    rep.kind = FusedOp::Kind::kDiagonal;
+    rep.gate_begin = ops[i].gate_begin;
+    rep.gate_end = ops[best_end - 1].gate_end;
+    rep.qubits = set;  // sorted; local bit b of the product is set[b]
+    rep.max_qubit = set.back();
+    rep.phases.resize(d);
+    for (u64 key = 0; key < d; ++key) rep.phases[key] = best_prod[key * d + key];
+    reduce_diagonal(rep);
+    if (op_cost(rep, gates) > best_sum) continue;
+    ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+              ops.begin() + static_cast<std::ptrdiff_t>(best_end));
+    ops[i] = std::move(rep);
+    changed = true;
+  }
+  return changed;
+}
+
+/// Compile a kDiagonal op's key-extraction plan: one DiagShift per
+/// contiguous run of its (sorted) qubits.
+void build_diag_shifts(FusedOp& op) {
+  op.shifts.clear();
+  std::size_t b = 0;
+  while (b < op.qubits.size()) {
+    std::size_t e = b + 1;
+    while (e < op.qubits.size() && op.qubits[e] == op.qubits[e - 1] + 1) ++e;
+    FusedOp::DiagShift s;
+    s.shift = op.qubits[b];
+    s.mask = (u64{1} << (e - b)) - 1;
+    s.out = static_cast<int>(b);
+    op.shifts.push_back(s);
+    b = e;
+  }
+}
+
+bool simplify_pass(std::vector<FusedOp>& ops) {
+  bool changed = false;
+  for (FusedOp& op : ops) {
+    if ((op.kind == FusedOp::Kind::kMatrix1 && exactly_diagonal(op.m, 2)) ||
+        (op.kind == FusedOp::Kind::kMatrix2 && exactly_diagonal(op.m, 4))) {
+      dense_to_diagonal(op);
+      changed = true;
+    }
+    if (op.kind == FusedOp::Kind::kDiagonal) changed |= reduce_diagonal(op);
+  }
+  return changed;
+}
+
+}  // namespace
+
+FusedPlan::FusedPlan(const QuantumCircuit& qc, const FusionOptions& options)
+    : circuit_(qc), options_(options) {
+  QFAB_CHECK(options_.max_diagonal_qubits >= 3);
+  QFAB_CHECK(options_.tile_bits >= 2);
+  compile();
+}
+
+std::size_t FusedPlan::op_of_gate(std::size_t gate_index) const {
+  QFAB_CHECK(gate_index < op_of_gate_.size());
+  return op_of_gate_[gate_index];
+}
+
+void FusedPlan::compile() {
+  const auto& gates = circuit_.gates();
+  ops_.reserve(gates.size());
+
+  // Convert gates 1:1 into ops; all fusion happens in the rewrite passes.
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    const bool diag = gate_is_diagonal(g.kind);
+    const int arity = g.arity();
+
+    FusedOp op;
+    op.gate_begin = i;
+    op.gate_end = i + 1;
+    op.max_qubit = gate_max_qubit(g);
+    if (!options_.enable) {
+      op.kind = FusedOp::Kind::kGate;
+    } else if (diag) {
+      op.kind = FusedOp::Kind::kDiagonal;
+      for (int b = 0; b < arity; ++b) op.qubits.push_back(g.qubits[b]);
+      std::sort(op.qubits.begin(), op.qubits.end());
+      op.phases.assign(pow2(arity), cplx{1.0, 0.0});
+      const std::vector<cplx> gd = gate_diagonal(g);
+      int gpos[3] = {0, 0, 0};
+      for (int b = 0; b < arity; ++b)
+        gpos[b] = index_of(op.qubits, g.qubits[b]);
+      for (u64 key = 0; key < op.phases.size(); ++key) {
+        u64 gk = 0;
+        for (int b = 0; b < arity; ++b)
+          gk |= ((key >> gpos[b]) & u64{1}) << b;
+        op.phases[key] = gd[gk];
+      }
+    } else if (arity == 1) {
+      op.kind = FusedOp::Kind::kMatrix1;
+      op.q0 = g.qubits[0];
+      op.m = to_flat(g.matrix());
+    } else if (arity == 2) {
+      op.kind = FusedOp::Kind::kMatrix2;
+      op.q0 = g.qubits[0];
+      op.q1 = g.qubits[1];
+      op.m = to_flat(g.matrix());
+    } else {
+      op.kind = FusedOp::Kind::kGate;  // CCX
+    }
+    ops_.push_back(std::move(op));
+  }
+
+  if (options_.enable) {
+    // Rewrite to a fixpoint. Each pass either shrinks the op list or
+    // strictly simplifies an op's representation, so this terminates.
+    const int cap = options_.max_diagonal_qubits;
+    bool changed = true;
+    while (changed) {
+      changed = merge_pass(ops_, gates, cap);
+      changed |= sandwich_pass(ops_, gates);
+      changed |= simplify_pass(ops_);
+    }
+  }
+
+  // Ops that ended up covering a single gate run faster on the specialized
+  // per-gate kernels (a lone CX is a quarter-swap, not a dense 4x4).
+  for (FusedOp& op : ops_)
+    if (op.gate_count() == 1 && op.kind != FusedOp::Kind::kGate) {
+      op.kind = FusedOp::Kind::kGate;
+      op.m.clear();
+      op.qubits.clear();
+      op.phases.clear();
+    }
+
+  for (FusedOp& op : ops_)
+    if (op.kind == FusedOp::Kind::kDiagonal && op.qubits.size() >= 2)
+      build_diag_shifts(op);
+
+  op_of_gate_.assign(gates.size(), 0);
+  for (std::size_t o = 0; o < ops_.size(); ++o)
+    for (std::size_t g = ops_[o].gate_begin; g < ops_[o].gate_end; ++g)
+      op_of_gate_[g] = static_cast<std::uint32_t>(o);
+}
+
+void FusedPlan::apply(StateVector& sv) const {
+  QFAB_CHECK(sv.num_qubits() == circuit_.num_qubits());
+  apply_ops(sv, 0, ops_.size());
+  sv.apply_global_phase(circuit_.global_phase());
+}
+
+void FusedPlan::apply_range(StateVector& sv, std::size_t gate_begin,
+                            std::size_t gate_end) const {
+  QFAB_CHECK(sv.num_qubits() == circuit_.num_qubits());
+  QFAB_CHECK(gate_begin <= gate_end && gate_end <= gate_count());
+  std::size_t g = gate_begin;
+  while (g < gate_end) {
+    const std::size_t oi = op_of_gate_[g];
+    const FusedOp& op = ops_[oi];
+    if (op.gate_begin == g && op.gate_end <= gate_end) {
+      // Maximal run of fully covered ops, executed fused (cache-blocked).
+      std::size_t oj = oi;
+      while (oj < ops_.size() && ops_[oj].gate_end <= gate_end) ++oj;
+      apply_ops(sv, oi, oj);
+      g = ops_[oj - 1].gate_end;
+    } else {
+      // The split lands inside this op: per-gate fallback for the covered
+      // slice (this is what lets noise inject at arbitrary gate sites).
+      const std::size_t stop = std::min(gate_end, op.gate_end);
+      apply_gates(sv, g, stop);
+      g = stop;
+    }
+  }
+}
+
+void FusedPlan::apply_ops(StateVector& sv, std::size_t op_lo,
+                          std::size_t op_hi) const {
+  cplx* a = sv.raw_amplitudes();
+  const u64 n = sv.dim();
+  const int tb = std::min(options_.tile_bits, sv.num_qubits());
+  const u64 tile = u64{1} << tb;
+
+  // Scalar work goes to the state's pending phase exactly once per op,
+  // never per tile: the RZ prefactor of passthrough gates, and scalar
+  // (k = 0) diagonal ops — identity-up-to-phase products like CX·CX.
+  auto add_pending = [&](const FusedOp& op) {
+    if (op.kind == FusedOp::Kind::kGate) {
+      const Gate& gate = circuit_.gates()[op.gate_begin];
+      if (gate.kind == GateKind::kRZ)
+        sv.apply_global_phase(-gate.params[0] / 2);
+    } else if (op.kind == FusedOp::Kind::kDiagonal && op.qubits.empty()) {
+      sv.apply_global_phase(std::arg(op.phases[0]));
+    }
+  };
+  auto apply_chunk = [&](cplx* chunk, u64 len, const FusedOp& op) {
+    switch (op.kind) {
+      case FusedOp::Kind::kMatrix1:
+        k_matrix1(chunk, len, op.q0, op.m.data());
+        return;
+      case FusedOp::Kind::kMatrix2:
+        k_matrix2(chunk, len, op.q0, op.q1, op.m.data());
+        return;
+      case FusedOp::Kind::kDiagonal:
+        if (op.qubits.empty()) return;  // handled by add_pending
+        if (op.qubits.size() == 1)
+          k_diag1(chunk, len, op.qubits[0], op.phases.data());
+        else
+          k_diag(chunk, len, op.shifts.data(),
+                 static_cast<int>(op.shifts.size()), op.phases.data());
+        return;
+      case FusedOp::Kind::kGate:
+        k_gate(chunk, len, circuit_.gates()[op.gate_begin]);
+        return;
+    }
+  };
+
+  std::size_t i = op_lo;
+  while (i < op_hi) {
+    if (ops_[i].max_qubit < tb) {
+      std::size_t j = i;
+      while (j < op_hi && ops_[j].max_qubit < tb) ++j;
+      for (std::size_t k = i; k < j; ++k) add_pending(ops_[k]);
+      for (u64 base = 0; base < n; base += tile)
+        for (std::size_t k = i; k < j; ++k)
+          apply_chunk(a + base, tile, ops_[k]);
+      i = j;
+    } else {
+      add_pending(ops_[i]);
+      apply_chunk(a, n, ops_[i]);
+      ++i;
+    }
+  }
+}
+
+void FusedPlan::apply_gates(StateVector& sv, std::size_t gate_begin,
+                            std::size_t gate_end) const {
+  cplx* a = sv.raw_amplitudes();
+  const u64 n = sv.dim();
+  for (std::size_t g = gate_begin; g < gate_end; ++g) {
+    const Gate& gate = circuit_.gates()[g];
+    if (gate.kind == GateKind::kRZ)
+      sv.apply_global_phase(-gate.params[0] / 2);
+    k_gate(a, n, gate);
+  }
+}
+
+}  // namespace qfab

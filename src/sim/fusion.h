@@ -1,0 +1,137 @@
+// Fused gate execution plans.
+//
+// A FusedPlan is compiled once per (transpiled) circuit and replayed many
+// times — once per operand instance and again per error trajectory — so the
+// compile cost is amortized over thousands of 2^n-amplitude passes. The
+// plan collapses the gate stream into fewer, cheaper ops:
+//
+//  * runs of consecutive 1q gates on the same qubit fuse into one 2x2
+//    matrix (the transpiled RZ·SX·RZ Euler chains),
+//  * runs confined to <= 3 qubits whose product is *exactly* diagonal
+//    (CX·D·CX conjugation yields structural IEEE zeros) collapse into one
+//    phase-table op — each transpiled CP block (CX·RZ·CX·RZ) and CCP
+//    block becomes a single diagonal pass,
+//  * adjacent diagonal ops (Id/Z/RZ/P/CZ/CP/CCP and collapsed blocks)
+//    merge into one phase table over the union of their qubits (whole QFT
+//    ladders between Hadamard layers), applied with a precompiled
+//    shift/mask key gather.
+//
+// Every rewrite is gated by a kernel cost model: at simulation sizes the
+// amplitude vector is cache-resident and the workload is flop-bound, so a
+// merge is accepted only when the fused pass is estimated no more
+// expensive than its parts (a dense 4x4 must not swallow a CX
+// quarter-swap plus an RZ half-pass).
+//
+// Execution is cache-blocked: consecutive ops that act only on qubits below
+// `tile_bits` are applied tile-by-tile, so every gate of the block touches
+// an L1-resident slice of the amplitude vector before moving on.
+//
+// Noise compatibility is the load-bearing invariant: the ops partition the
+// original gate index range, `op_of_gate` maps every gate index to its op,
+// and `apply_range` accepts *arbitrary* gate boundaries — partially covered
+// ops fall back to per-gate kernels — so CleanRun checkpoints and
+// trajectory Pauli injections land at exact gate sites while fused segments
+// run on either side. Fused execution matches the per-gate reference path
+// (StateVector::apply_circuit_range) to ~1e-12 in the final amplitudes;
+// tests/test_fusion.cpp property-tests this, including splits at every
+// gate index.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+
+struct FusionOptions {
+  /// false compiles every gate as its own op (per-gate kernels through the
+  /// plan machinery) — the A/B baseline used by bench_fusion.
+  bool enable = true;
+  /// Cap on the qubit count of a fused diagonal op (phase table has 2^k
+  /// entries); a diagonal gate that would push a run past the cap starts a
+  /// new op instead.
+  int max_diagonal_qubits = 10;
+  /// Tile size for cache-blocked execution: 2^tile_bits amplitudes
+  /// (default 2^11 * 16 B = 32 KiB, sized for L1).
+  int tile_bits = 11;
+};
+
+/// One compiled op covering the contiguous original-gate range
+/// [gate_begin, gate_end).
+struct FusedOp {
+  enum class Kind : std::uint8_t {
+    kGate,      // single original gate, specialized per-kind kernel
+    kMatrix1,   // fused 2x2 on qubit q0
+    kMatrix2,   // fused 4x4 on (q0, q1); gate-local bit 0 = q0
+    kDiagonal,  // fused phase table over `qubits` (sorted ascending)
+  };
+
+  /// One contiguous run of kDiagonal qubits: contributes
+  /// ((index >> shift) & mask) << out to the phase-table key. Compiled so
+  /// the per-amplitude key gather is a few shifts instead of a per-bit
+  /// loop (QFT ladder unions are contiguous register ranges).
+  struct DiagShift {
+    int shift = 0;
+    u64 mask = 0;
+    int out = 0;
+  };
+
+  Kind kind = Kind::kGate;
+  std::size_t gate_begin = 0;
+  std::size_t gate_end = 0;
+  int q0 = -1;
+  int q1 = -1;
+  int max_qubit = -1;        // highest qubit touched (tiling eligibility)
+  std::vector<cplx> m;       // kMatrix1: 4 entries row-major; kMatrix2: 16
+  std::vector<int> qubits;   // kDiagonal: sorted qubit list
+  std::vector<cplx> phases;  // kDiagonal: 2^qubits.size() diagonal entries
+  std::vector<DiagShift> shifts;  // kDiagonal k >= 2: key extraction plan
+
+  std::size_t gate_count() const { return gate_end - gate_begin; }
+};
+
+class FusedPlan {
+ public:
+  explicit FusedPlan(const QuantumCircuit& qc,
+                     const FusionOptions& options = {});
+
+  /// The compiled circuit (the plan owns a copy).
+  const QuantumCircuit& circuit() const { return circuit_; }
+  const FusionOptions& options() const { return options_; }
+  const std::vector<FusedOp>& ops() const { return ops_; }
+
+  std::size_t gate_count() const { return circuit_.gates().size(); }
+  std::size_t op_count() const { return ops_.size(); }
+
+  /// Index of the op covering original gate `gate_index` (O(1)).
+  std::size_t op_of_gate(std::size_t gate_index) const;
+
+  /// Apply the full circuit, including its global phase (mirrors
+  /// StateVector::apply_circuit).
+  void apply(StateVector& sv) const;
+
+  /// Apply original gates [gate_begin, gate_end); global phase is NOT
+  /// applied (mirrors StateVector::apply_circuit_range). Boundaries may
+  /// fall inside fused ops: the partially covered gates run on the
+  /// per-gate kernels, so noise injection can split anywhere.
+  void apply_range(StateVector& sv, std::size_t gate_begin,
+                   std::size_t gate_end) const;
+
+ private:
+  void compile();
+  /// Apply whole ops [op_lo, op_hi), cache-blocked.
+  void apply_ops(StateVector& sv, std::size_t op_lo, std::size_t op_hi) const;
+  /// Per-gate fallback for partially covered ops.
+  void apply_gates(StateVector& sv, std::size_t gate_begin,
+                   std::size_t gate_end) const;
+
+  QuantumCircuit circuit_;
+  FusionOptions options_;
+  std::vector<FusedOp> ops_;                // partition of [0, gate_count)
+  std::vector<std::uint32_t> op_of_gate_;   // gate index -> op index
+};
+
+}  // namespace qfab

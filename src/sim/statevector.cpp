@@ -309,6 +309,20 @@ std::vector<double> StateVector::marginal_probabilities(
   for (int q : qubits) QFAB_CHECK(q >= 0 && q < num_qubits_);
   std::vector<double> out(pow2(static_cast<int>(qubits.size())), 0.0);
   const u64 n = dim();
+  // Contiguous ascending ranges (the experiment's output registers) need no
+  // per-amplitude bit gather: the key is one shift and mask.
+  bool contiguous = true;
+  for (std::size_t b = 0; b < qubits.size(); ++b)
+    if (qubits[b] != qubits[0] + static_cast<int>(b)) {
+      contiguous = false;
+      break;
+    }
+  if (contiguous) {
+    const int shift = qubits[0];
+    const u64 mask = static_cast<u64>(out.size()) - 1;
+    for (u64 i = 0; i < n; ++i) out[(i >> shift) & mask] += std::norm(amps_[i]);
+    return out;
+  }
   for (u64 i = 0; i < n; ++i) {
     const double pr = std::norm(amps_[i]);
     if (pr == 0.0) continue;

@@ -44,6 +44,11 @@ class StateVector {
   cplx amplitude(u64 index) const;
   double norm() const;
 
+  /// Raw mutable amplitude storage for execution-plan kernels
+  /// (sim/fusion). The pending RZ global phase is deliberately NOT
+  /// flushed: plan ops are linear, so the lazy scalar commutes with them.
+  cplx* raw_amplitudes() { return amps_.data(); }
+
   // -- gate application --
   void apply_gate(const Gate& g);
   /// Apply gates [begin, end) of the circuit; applies the circuit's global

@@ -215,6 +215,36 @@ TEST(Parallel, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(Parallel, ChunkedCoversRangeExactlyOnce) {
+  for (std::size_t chunk : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for_chunked(
+        0, 1000,
+        [&](std::size_t lo, std::size_t hi) {
+          EXPECT_LT(lo, hi);
+          EXPECT_LE(hi, 1000u);
+          for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+        },
+        chunk);
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Parallel, ChunkedOffsetRangeAndEmpty) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_chunked(40, 100, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(hits[i].load(), i >= 40 ? 1 : 0);
+
+  bool called = false;
+  parallel_for_chunked(9, 9,
+                       [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
 // ---------- cli ----------
 
 TEST(Cli, ParsesAllForms) {

@@ -205,6 +205,39 @@ TEST(StateVector, MarginalProbabilities) {
   EXPECT_NEAR(m20[0b11], 0.5, 1e-12);
 }
 
+TEST(StateVector, MarginalContiguousFastPathMatchesGather) {
+  // The contiguous-range fast path (shift/mask) must agree with the
+  // generic bit-gather on a random state, for every inner range.
+  Pcg64 rng(77);
+  const int n = 6;
+  std::vector<cplx> amps(pow2(n));
+  double norm = 0.0;
+  for (cplx& a : amps) {
+    a = cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+    norm += std::norm(a);
+  }
+  for (cplx& a : amps) a *= 1.0 / std::sqrt(norm);
+  const StateVector sv = StateVector::from_amplitudes(amps);
+
+  for (int start = 0; start < n; ++start)
+    for (int size = 1; start + size <= n; ++size) {
+      std::vector<int> qubits(size);
+      for (int b = 0; b < size; ++b) qubits[b] = start + b;
+      const auto fast = sv.marginal_probabilities(qubits);
+      // Generic reference: accumulate keys bit by bit.
+      std::vector<double> ref(pow2(size), 0.0);
+      for (u64 i = 0; i < pow2(n); ++i) {
+        u64 key = 0;
+        for (int b = 0; b < size; ++b)
+          key |= static_cast<u64>(get_bit(i, qubits[b])) << b;
+        ref[key] += std::norm(amps[i]);
+      }
+      ASSERT_EQ(fast.size(), ref.size());
+      for (std::size_t k = 0; k < ref.size(); ++k)
+        EXPECT_NEAR(fast[k], ref[k], 1e-14) << "start=" << start;
+    }
+}
+
 TEST(StateVector, SampleCountsStatistics) {
   StateVector sv(2);
   sv.apply_gate(make_gate1(GateKind::kH, 0));  // q0 uniform, q1 = 0
