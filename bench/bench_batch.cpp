@@ -1,0 +1,211 @@
+// Batched vs single-state sweep-point throughput.
+//
+// Times the full per-instance sweep work — ideal run with checkpoints plus
+// a stratified noisy evaluation (12 trajectories, 2048 shots) — for the
+// transpiled QFA(n=8, full depth) and QFM(n=4, full depth) circuits, at
+// batch sizes {1, 4, 8, 16} under both kernel tables (forced scalar and
+// native dispatch). batch=1 is the single-state path the sweeps ran before
+// the batched engine existed, so "speedup_vs_single" tracks the end-to-end
+// win per batch size. Writes machine-readable BENCH_batch.json. Each case
+// also cross-checks the batched channel estimate against the scalar
+// estimator (<= 1e-9).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "exp/experiment.h"
+#include "exp/instances.h"
+#include "sim/batch.h"
+
+namespace qfab::bench {
+namespace {
+
+struct BenchRow {
+  std::string name;
+  std::string simd;
+  int batch = 0;
+  int num_qubits = 0;
+  std::size_t gates = 0;
+  int instances = 0;
+  double point_ms = 0.0;       // one sweep point: all instances, one rate
+  double inst_per_sec = 0.0;
+  double speedup_vs_single = 0.0;  // vs batch=1 scalar-table baseline
+};
+
+/// Median-of-reps wall time in milliseconds.
+template <typename Fn>
+double time_ms(Fn&& body, int reps) {
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    body();
+    ms.push_back(watch.seconds() * 1e3);
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
+struct Case {
+  std::string name;
+  CircuitSpec spec;
+};
+
+/// One sweep point: every instance gets its ideal run (checkpointed) and
+/// one stratified noisy evaluation — the exact per-point work of
+/// run_sweep, minus transpile/plan compile (amortized across the sweep).
+void run_point(const Case& c, const QuantumCircuit& qc,
+               const std::shared_ptr<const FusedPlan>& plan,
+               const std::vector<ArithInstance>& instances,
+               const NoiseModel& noise, const RunOptions& run) {
+  const std::size_t B =
+      static_cast<std::size_t>(std::max(run.batch_lanes, 1));
+  Pcg64 root(0xBA7C4ULL, 17);
+  if (run.batch_lanes <= 1) {
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      const InstanceContext context(qc, c.spec, instances[i], run, plan);
+      Pcg64 rng = root.split(i);
+      (void)context.evaluate(noise, run, rng);
+    }
+    return;
+  }
+  for (std::size_t i0 = 0; i0 < instances.size(); i0 += B) {
+    const std::size_t i1 = std::min(i0 + B, instances.size());
+    const std::vector<ArithInstance> group(instances.begin() + i0,
+                                           instances.begin() + i1);
+    const InstanceBatch batch(qc, c.spec, group, run, plan);
+    std::vector<Pcg64> rngs;
+    rngs.reserve(group.size());
+    for (std::size_t m = 0; m < group.size(); ++m)
+      rngs.push_back(root.split(i0 + m));
+    (void)batch.evaluate_all(noise, run, rngs);
+  }
+}
+
+void cross_check(const Case& c, const QuantumCircuit& qc,
+                 const std::shared_ptr<const FusedPlan>& plan,
+                 const ArithInstance& inst, const NoiseModel& noise,
+                 const RunOptions& run) {
+  const CleanRun clean(qc, make_initial_state(c.spec, inst),
+                       run.checkpoint_interval, plan);
+  const ErrorLocations errors(qc, noise);
+  const std::vector<int> out_q = output_qubits(c.spec);
+  EstimatorOptions est;
+  est.error_trajectories = run.error_trajectories;
+  Pcg64 rng_a(42, 1), rng_b(42, 1);
+  const auto scalar =
+      estimate_channel_marginal(clean, errors, out_q, est, rng_a);
+  const auto batched =
+      estimate_channel_marginal_batched(clean, errors, out_q, est, 8, rng_b);
+  double dev = 0.0;
+  for (std::size_t i = 0; i < scalar.size(); ++i)
+    dev = std::max(dev, std::abs(scalar[i] - batched[i]));
+  QFAB_CHECK_MSG(dev < 1e-9,
+                 c.name << ": batched estimator deviates " << dev);
+}
+
+void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
+  std::ofstream out(path);
+  QFAB_CHECK_MSG(out.good(), "cannot open " << path);
+  out << "{\n  \"benchmark\": \"batch\",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\""
+        << ", \"simd\": \"" << r.simd << "\""
+        << ", \"batch\": " << r.batch
+        << ", \"num_qubits\": " << r.num_qubits
+        << ", \"gates\": " << r.gates
+        << ", \"instances\": " << r.instances
+        << ", \"point_ms\": " << r.point_ms
+        << ", \"inst_per_sec\": " << r.inst_per_sec
+        << ", \"speedup_vs_single\": " << r.speedup_vs_single << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int run(int argc, const char* const* argv) {
+  CliFlags flags(argc, argv);
+  const int reps = static_cast<int>(flags.get_int("reps", 3));
+  const int n_inst = static_cast<int>(flags.get_int("instances", 16));
+  const std::string out_path = flags.get_string("out", "BENCH_batch.json");
+  if (!flags.validate()) return 1;
+
+  std::vector<Case> cases;
+  {
+    CircuitSpec qfa;
+    qfa.op = Operation::kAdd;
+    qfa.n = 8;
+    qfa.depth = kFullDepth;
+    cases.push_back({"qfa_n8_dfull", qfa});
+    CircuitSpec qfm;
+    qfm.op = Operation::kMultiply;
+    qfm.n = 4;
+    qfm.depth = kFullDepth;
+    cases.push_back({"qfm_n4_dfull", qfm});
+  }
+
+  NoiseModel noise;
+  noise.p1q = 0.001;  // mid-sweep gate error rate (0.1%)
+
+  std::vector<BenchRow> rows;
+  for (const Case& c : cases) {
+    const QuantumCircuit qc = build_transpiled_circuit(c.spec);
+    const auto plan = std::make_shared<const FusedPlan>(qc);
+    Pcg64 inst_rng(0x5eedULL, 7);
+    const auto instances =
+        generate_instances(n_inst, c.spec.n, c.spec.n, OperandOrders{},
+                           inst_rng);
+
+    RunOptions check_run;
+    cross_check(c, qc, plan, instances.front(), noise, check_run);
+
+    double single_ms = 0.0;  // batch=1 under the scalar table
+    for (SimdMode mode : {SimdMode::kScalar, SimdMode::kAuto}) {
+      set_simd_mode(mode);
+      for (int batch : {1, 4, 8, 16}) {
+        RunOptions run;
+        run.batch_lanes = batch;
+        const double ms = time_ms(
+            [&] { run_point(c, qc, plan, instances, noise, run); }, reps);
+        BenchRow row;
+        row.name = c.name;
+        row.simd = simd_mode_name();
+        row.batch = batch;
+        row.num_qubits = qc.num_qubits();
+        row.gates = qc.gates().size();
+        row.instances = n_inst;
+        row.point_ms = ms;
+        row.inst_per_sec = static_cast<double>(n_inst) / (ms / 1e3);
+        if (mode == SimdMode::kScalar && batch == 1) single_ms = ms;
+        row.speedup_vs_single = single_ms / ms;
+        rows.push_back(row);
+      }
+    }
+    set_simd_mode(SimdMode::kAuto);
+  }
+
+  TextTable table({"case", "simd", "batch", "gates", "point_ms",
+                   "inst/sec", "speedup"});
+  for (const BenchRow& r : rows)
+    table.add_row({r.name, r.simd, std::to_string(r.batch),
+                   std::to_string(r.gates), fmt_double(r.point_ms, 1),
+                   fmt_double(r.inst_per_sec, 1),
+                   fmt_double(r.speedup_vs_single, 2)});
+  table.print(std::cout);
+  write_json(rows, out_path);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace qfab::bench
+
+int main(int argc, char** argv) { return qfab::bench::run(argc, argv); }

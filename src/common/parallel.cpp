@@ -85,11 +85,14 @@ void parallel_for(std::size_t begin, std::size_t end,
 void parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body,
-    std::size_t chunk) {
+    std::size_t chunk, std::size_t min_grain) {
   if (begin >= end) return;
   ThreadPool& pool = ThreadPool::shared();
   const std::size_t n = end - begin;
-  if (pool.size() <= 1 || n == 1) {
+  if (min_grain == 0) min_grain = 1;
+  // Grain floor: a range this small is cheaper to run inline than to hand
+  // to the pool (wake-up + cursor traffic exceed the work).
+  if (pool.size() <= 1 || n <= min_grain) {
     body(begin, end);
     return;
   }
@@ -98,6 +101,7 @@ void parallel_for_chunked(
     // dynamic scheduler room to balance uneven chunk costs.
     chunk = std::max<std::size_t>(1, n / (pool.size() * 8));
   }
+  chunk = std::max(chunk, min_grain);
   auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
   const std::size_t jobs = std::min(pool.size(), (n + chunk - 1) / chunk);
   for (std::size_t j = 0; j < jobs; ++j) {

@@ -60,9 +60,13 @@ void parallel_for(std::size_t begin, std::size_t end,
 /// instead of once per index. Chunks are claimed dynamically (work
 /// stealing via a shared cursor) to tolerate uneven per-index cost.
 /// `chunk == 0` picks a size that gives each worker several chunks.
+/// `min_grain` is the grain-size floor: chunks never shrink below it, and
+/// a range of at most min_grain indices runs serially in the caller — tiny
+/// sweeps skip the thread wake-up entirely instead of paying pool dispatch
+/// for less work than the dispatch costs.
 void parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& body,
-    std::size_t chunk = 0);
+    std::size_t chunk = 0, std::size_t min_grain = 1);
 
 }  // namespace qfab

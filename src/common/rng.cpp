@@ -50,6 +50,27 @@ Pcg64 Pcg64::split(std::uint64_t salt) {
   return Pcg64(s, t | 1);
 }
 
+CdfSampler::CdfSampler(const std::vector<double>& probs) {
+  QFAB_CHECK(!probs.empty());
+  cdf_.resize(probs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    QFAB_CHECK(probs[i] >= 0.0);
+    acc += probs[i];
+    cdf_[i] = acc;
+  }
+  QFAB_CHECK(acc > 0.0);
+}
+
+std::size_t CdfSampler::draw(Pcg64& rng) const {
+  // First index whose inclusive running sum exceeds u — the same index the
+  // linear scan `u < acc` would return, found in O(log n).
+  const double u = rng.uniform() * cdf_.back();
+  const std::size_t i = static_cast<std::size_t>(
+      std::upper_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  return std::min(i, cdf_.size() - 1);  // numerical slack at u ~= total
+}
+
 std::uint64_t binomial(Pcg64& rng, std::uint64_t n, double p) {
   QFAB_CHECK(p >= 0.0 && p <= 1.0);
   if (n == 0 || p == 0.0) return 0;

@@ -47,6 +47,25 @@ class Pcg64 {
   u128 inc_;  // odd
 };
 
+/// Draws indices from a fixed discrete distribution: the running-sum table
+/// is built once (O(n)) and every draw is a binary search (O(log n)),
+/// replacing the O(n) linear CDF scan when many shots sample one
+/// distribution (2048 shots per instance in the paper's sweeps).
+class CdfSampler {
+ public:
+  /// `probs` need not be normalized; it must be non-empty with a positive
+  /// sum and no negative entries.
+  explicit CdfSampler(const std::vector<double>& probs);
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// One index, distributed proportionally to probs.
+  std::size_t draw(Pcg64& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive running sums; back() = total
+};
+
 /// Binomial(n, p) sample. Exact inversion for small n*p, BTPE-free
 /// normal-rejection hybrid otherwise (adequate for trajectory scheduling).
 std::uint64_t binomial(Pcg64& rng, std::uint64_t n, double p);

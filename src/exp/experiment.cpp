@@ -109,11 +109,78 @@ InstanceOutcome InstanceContext::evaluate(const NoiseModel& noise,
     EstimatorOptions est;
     est.error_trajectories = run.error_trajectories;
     std::vector<double> channel =
-        estimate_channel_marginal(clean_, errors, output_qubits_, est, rng);
+        run.batch_lanes > 1
+            ? estimate_channel_marginal_batched(clean_, errors, output_qubits_,
+                                                est, run.batch_lanes, rng)
+            : estimate_channel_marginal(clean_, errors, output_qubits_, est,
+                                        rng);
     if (run.readout.enabled()) apply_readout_error(channel, run.readout);
     counts = sample_shot_counts(channel, run.shots, rng);
   }
   return evaluate_counts(counts, correct_);
+}
+
+std::vector<StateVector> InstanceBatch::initial_states(
+    const CircuitSpec& spec, const std::vector<ArithInstance>& group) {
+  std::vector<StateVector> states;
+  states.reserve(group.size());
+  for (const ArithInstance& inst : group)
+    states.push_back(make_initial_state(spec, inst));
+  return states;
+}
+
+InstanceBatch::InstanceBatch(const QuantumCircuit& transpiled,
+                             const CircuitSpec& spec,
+                             const std::vector<ArithInstance>& group,
+                             const RunOptions& run,
+                             std::shared_ptr<const FusedPlan> plan)
+    : clean_(plan ? std::move(plan)
+                  : std::make_shared<const FusedPlan>(transpiled),
+             initial_states(spec, group), run.checkpoint_interval),
+      output_qubits_(output_qubits(spec)) {
+  // The shared plan must describe this exact circuit (same contract as
+  // CleanRun): trajectory injection addresses gates by index through it.
+  QFAB_CHECK(clean_.circuit().num_qubits() == transpiled.num_qubits());
+  QFAB_CHECK(clean_.plan().gate_count() == transpiled.gates().size());
+  correct_.reserve(group.size());
+  for (const ArithInstance& inst : group)
+    correct_.push_back(correct_outputs(spec, inst));
+}
+
+InstanceOutcome InstanceBatch::evaluate(int member, const NoiseModel& noise,
+                                        const RunOptions& run,
+                                        Pcg64& rng) const {
+  QFAB_CHECK(member >= 0 && member < size());
+  const ErrorLocations errors(clean_.circuit(), noise);
+  EstimatorOptions est;
+  est.error_trajectories = run.error_trajectories;
+  std::vector<double> channel = estimate_channel_marginal_batched(
+      clean_, member, errors, output_qubits_, est, std::max(run.batch_lanes, 1),
+      rng);
+  if (run.readout.enabled()) apply_readout_error(channel, run.readout);
+  std::vector<std::uint64_t> counts = sample_shot_counts(channel, run.shots, rng);
+  return evaluate_counts(counts, correct_[static_cast<std::size_t>(member)]);
+}
+
+std::vector<InstanceOutcome> InstanceBatch::evaluate_all(
+    const NoiseModel& noise, const RunOptions& run,
+    std::vector<Pcg64>& rngs) const {
+  QFAB_CHECK(rngs.size() == static_cast<std::size_t>(size()));
+  const ErrorLocations errors(clean_.circuit(), noise);
+  EstimatorOptions est;
+  est.error_trajectories = run.error_trajectories;
+  std::vector<std::vector<double>> channels =
+      estimate_channel_marginals_batched(clean_, errors, output_qubits_, est,
+                                         rngs);
+  std::vector<InstanceOutcome> outcomes;
+  outcomes.reserve(channels.size());
+  for (std::size_t m = 0; m < channels.size(); ++m) {
+    if (run.readout.enabled()) apply_readout_error(channels[m], run.readout);
+    const std::vector<std::uint64_t> counts =
+        sample_shot_counts(channels[m], run.shots, rngs[m]);
+    outcomes.push_back(evaluate_counts(counts, correct_[m]));
+  }
+  return outcomes;
 }
 
 }  // namespace qfab

@@ -69,6 +69,11 @@ struct RunOptions {
   std::size_t checkpoint_interval = 64;
   bool noisy_rz = true;
   bool noisy_id = true;
+  /// Lanes for the batched SIMD engine (sim/batch.h): clean runs batch up
+  /// to this many instances per fused-plan pass and trajectories batch up
+  /// to this many per instance. <= 1 selects the single-state scalar path
+  /// (as does per_shot, which is defined shot-sequentially).
+  int batch_lanes = 8;
   /// Measurement confusion applied to every output bit (extension; the
   /// paper's sweeps use none).
   ReadoutError readout;
@@ -94,6 +99,43 @@ class InstanceContext {
   CleanRun clean_;
   std::vector<int> output_qubits_;
   std::vector<u64> correct_;
+};
+
+/// Batched counterpart of InstanceContext: one group of up to
+/// BatchedStateVector::kMaxLanes operand instances whose ideal runs advance
+/// in lockstep through one shared FusedPlan pass (their circuits are
+/// identical; only the initial states differ). Used by run_sweep on the
+/// stratified-estimator path; per-shot mode stays on InstanceContext.
+class InstanceBatch {
+ public:
+  InstanceBatch(const QuantumCircuit& transpiled, const CircuitSpec& spec,
+                const std::vector<ArithInstance>& group, const RunOptions& run,
+                std::shared_ptr<const FusedPlan> plan = nullptr);
+
+  int size() const { return clean_.lanes(); }
+
+  /// Evaluate group member `member` at one noise point. Identical
+  /// statistics to InstanceContext::evaluate on the stratified path: the
+  /// rng stream per point is the same.
+  InstanceOutcome evaluate(int member, const NoiseModel& noise,
+                           const RunOptions& run, Pcg64& rng) const;
+
+  /// Evaluate every member at one noise point in a single batched pass:
+  /// all members' error trajectories of the same stratum replay together
+  /// (estimate_channel_marginals_batched). rngs[m] is member m's point
+  /// rng; each stream is consumed exactly as evaluate(m, ...) would, so
+  /// results match the per-member paths to replay rounding.
+  std::vector<InstanceOutcome> evaluate_all(const NoiseModel& noise,
+                                            const RunOptions& run,
+                                            std::vector<Pcg64>& rngs) const;
+
+ private:
+  static std::vector<StateVector> initial_states(
+      const CircuitSpec& spec, const std::vector<ArithInstance>& group);
+
+  BatchedCleanRun clean_;
+  std::vector<int> output_qubits_;
+  std::vector<std::vector<u64>> correct_;
 };
 
 }  // namespace qfab

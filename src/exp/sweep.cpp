@@ -1,5 +1,6 @@
 #include "exp/sweep.h"
 
+#include <algorithm>
 #include <cmath>
 #include <iostream>
 #include <ostream>
@@ -63,26 +64,69 @@ SweepResult run_sweep(const SweepConfig& config,
     plans.push_back(std::make_shared<const FusedPlan>(circuits.back()));
   }
 
-  parallel_for_chunked(0, n_inst, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      for (std::size_t d = 0; d < n_depths; ++d) {
-        CircuitSpec spec = config.base;
-        spec.depth = config.depths[d];
-        // One ideal run (with checkpoints) serves every rate cluster.
-        const InstanceContext context(circuits[d], spec, instances[i],
-                                      config.run, plans[d]);
-        for (std::size_t r = 0; r < n_rates; ++r) {
-          NoiseModel noise;
-          (config.vary_2q ? noise.p2q : noise.p1q) = rates[r] / 100.0;
-          noise.noisy_rz = config.run.noisy_rz;
-          noise.noisy_id = config.run.noisy_id;
-          Pcg64 rng = point_rng(config.seed, i, d, r);
-          outcomes[d][r][i] = context.evaluate(noise, config.run, rng);
+  auto make_noise = [&](std::size_t r) {
+    NoiseModel noise;
+    (config.vary_2q ? noise.p2q : noise.p1q) = rates[r] / 100.0;
+    noise.noisy_rz = config.run.noisy_rz;
+    noise.noisy_id = config.run.noisy_id;
+    return noise;
+  };
+
+  const int lanes = std::clamp(config.run.batch_lanes, 1,
+                               BatchedStateVector::kMaxLanes);
+  if (lanes > 1 && !config.run.per_shot) {
+    // Batched path: groups of up to `lanes` instances share each ideal run
+    // (one fused-plan pass for the whole group), and each instance's error
+    // trajectories batch again inside evaluate. The final group is ragged
+    // when n_inst % lanes != 0. Every point still draws from
+    // point_rng(seed, i, d, r), so results are independent of grouping and
+    // identical in distribution to the scalar path.
+    const std::size_t B = static_cast<std::size_t>(lanes);
+    const std::size_t n_groups = (n_inst + B - 1) / B;
+    parallel_for_chunked(0, n_groups, [&](std::size_t glo, std::size_t ghi) {
+      for (std::size_t g = glo; g < ghi; ++g) {
+        const std::size_t i0 = g * B;
+        const std::size_t i1 = std::min(i0 + B, n_inst);
+        const std::vector<ArithInstance> group(instances.begin() + i0,
+                                               instances.begin() + i1);
+        for (std::size_t d = 0; d < n_depths; ++d) {
+          CircuitSpec spec = config.base;
+          spec.depth = config.depths[d];
+          const InstanceBatch batch(circuits[d], spec, group, config.run,
+                                    plans[d]);
+          for (std::size_t r = 0; r < n_rates; ++r) {
+            std::vector<Pcg64> rngs;
+            rngs.reserve(group.size());
+            for (std::size_t m = 0; m < group.size(); ++m)
+              rngs.push_back(point_rng(config.seed, i0 + m, d, r));
+            const std::vector<InstanceOutcome> results =
+                batch.evaluate_all(make_noise(r), config.run, rngs);
+            for (std::size_t m = 0; m < group.size(); ++m)
+              outcomes[d][r][i0 + m] = results[m];
+          }
         }
+        if (config.progress)
+          for (std::size_t i = i0; i < i1; ++i) std::cerr << '.' << std::flush;
       }
-      if (config.progress) std::cerr << '.' << std::flush;
-    }
-  });
+    });
+  } else {
+    parallel_for_chunked(0, n_inst, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t d = 0; d < n_depths; ++d) {
+          CircuitSpec spec = config.base;
+          spec.depth = config.depths[d];
+          // One ideal run (with checkpoints) serves every rate cluster.
+          const InstanceContext context(circuits[d], spec, instances[i],
+                                        config.run, plans[d]);
+          for (std::size_t r = 0; r < n_rates; ++r) {
+            Pcg64 rng = point_rng(config.seed, i, d, r);
+            outcomes[d][r][i] = context.evaluate(make_noise(r), config.run, rng);
+          }
+        }
+        if (config.progress) std::cerr << '.' << std::flush;
+      }
+    });
+  }
   if (config.progress) std::cerr << '\n';
 
   SweepResult result;

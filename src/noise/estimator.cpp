@@ -1,6 +1,72 @@
 #include "noise/estimator.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace qfab {
+
+namespace {
+
+/// Shared body of the two batched-estimator overloads. `state_at(g)` must
+/// return the ideal state after g gates for the instance being estimated.
+template <typename StateAt>
+std::vector<double> channel_marginal_batched_impl(
+    const FusedPlan& plan, const std::vector<double>& ideal,
+    StateAt&& state_at, const ErrorLocations& errors,
+    const std::vector<int>& output_qubits, const EstimatorOptions& options,
+    int max_lanes, Pcg64& rng) {
+  const double w0 = errors.clean_probability();
+  if (errors.noisy_gate_count() == 0 || w0 >= 1.0) return ideal;
+  QFAB_CHECK(options.error_trajectories >= 1);
+  QFAB_CHECK(max_lanes >= 1 && max_lanes <= BatchedStateVector::kMaxLanes);
+  const int T = options.error_trajectories;
+
+  // Pre-sample every trajectory's event list sequentially: the rng stream
+  // is identical to the scalar estimator's and independent of lane packing.
+  std::vector<std::vector<ErrorEvent>> all_events(T);
+  for (int t = 0; t < T; ++t) all_events[t] = errors.sample_at_least_one(rng);
+
+  // Stratify: sort trajectory indices by first-error site so lanes batched
+  // together share (almost) all of their ideal prefix and the broadcast
+  // start state wastes little replay.
+  std::vector<int> order(static_cast<std::size_t>(T));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return all_events[a].front().gate_index < all_events[b].front().gate_index;
+  });
+
+  std::vector<std::vector<double>> margs(static_cast<std::size_t>(T));
+  for (int lo = 0; lo < T; lo += max_lanes) {
+    const int lanes = std::min(max_lanes, T - lo);
+    // Scalar run_trajectory resumes at first_gate_index + 1; the group
+    // resumes at the earliest such site and the later lanes replay the
+    // few extra ideal gates batched.
+    const std::size_t g0 = all_events[order[lo]].front().gate_index + 1;
+    BatchedStateVector bsv(plan.circuit().num_qubits(), lanes);
+    bsv.broadcast(state_at(g0));
+    std::vector<std::vector<ErrorEvent>> lane_events(lanes);
+    for (int l = 0; l < lanes; ++l) lane_events[l] = all_events[order[lo + l]];
+    run_trajectories_batched(plan, bsv, g0, lane_events);
+    std::vector<std::vector<double>> group_margs =
+        bsv.all_lane_marginal_probabilities(output_qubits);
+    for (int l = 0; l < lanes; ++l)
+      margs[order[lo + l]] = std::move(group_margs[static_cast<std::size_t>(l)]);
+  }
+
+  // Accumulate in original sample order, not lane order, so the estimate
+  // does not depend on the stratified packing.
+  std::vector<double> err_mean(ideal.size(), 0.0);
+  for (int t = 0; t < T; ++t)
+    for (std::size_t i = 0; i < err_mean.size(); ++i)
+      err_mean[i] += margs[t][i];
+  const double scale = (1.0 - w0) / static_cast<double>(T);
+  std::vector<double> out(ideal.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = w0 * ideal[i] + scale * err_mean[i];
+  return out;
+}
+
+}  // namespace
 
 std::vector<double> estimate_channel_marginal(
     const CleanRun& clean, const ErrorLocations& errors,
@@ -26,6 +92,108 @@ std::vector<double> estimate_channel_marginal(
   return out;
 }
 
+std::vector<double> estimate_channel_marginal_batched(
+    const CleanRun& clean, const ErrorLocations& errors,
+    const std::vector<int>& output_qubits, const EstimatorOptions& options,
+    int max_lanes, Pcg64& rng) {
+  return channel_marginal_batched_impl(
+      clean.plan(), clean.ideal_marginal(output_qubits),
+      [&clean](std::size_t g) { return clean.state_at(g); }, errors,
+      output_qubits, options, max_lanes, rng);
+}
+
+std::vector<double> estimate_channel_marginal_batched(
+    const BatchedCleanRun& clean, int lane, const ErrorLocations& errors,
+    const std::vector<int>& output_qubits, const EstimatorOptions& options,
+    int max_lanes, Pcg64& rng) {
+  return channel_marginal_batched_impl(
+      clean.plan(), clean.lane_ideal_marginal(lane, output_qubits),
+      [&clean, lane](std::size_t g) { return clean.lane_state_at(lane, g); },
+      errors, output_qubits, options, max_lanes, rng);
+}
+
+std::vector<std::vector<double>> estimate_channel_marginals_batched(
+    const BatchedCleanRun& clean, const ErrorLocations& errors,
+    const std::vector<int>& output_qubits, const EstimatorOptions& options,
+    std::vector<Pcg64>& rngs) {
+  const std::size_t L = static_cast<std::size_t>(clean.lanes());
+  QFAB_CHECK(rngs.size() == L);
+  std::vector<std::vector<double>> ideals(L);
+  for (std::size_t i = 0; i < L; ++i)
+    ideals[i] = clean.lane_ideal_marginal(static_cast<int>(i), output_qubits);
+  const double w0 = errors.clean_probability();
+  if (errors.noisy_gate_count() == 0 || w0 >= 1.0) return ideals;
+  QFAB_CHECK(options.error_trajectories >= 1);
+  const std::size_t T = static_cast<std::size_t>(options.error_trajectories);
+
+  // Pre-sample every member's trajectories from its own stream (identical
+  // rng consumption to the per-member estimator), then pool all L*T
+  // trajectories across members and sort by first-error site. Groups of L
+  // consecutive pooled trajectories — whichever members they came from —
+  // share nearly all of their ideal prefix, so each group's batched replay
+  // from the common resume point wastes little work and its injection
+  // sites cluster into few fused ops. Marginals are written back per
+  // (member, original sample index), so the estimate is packing-
+  // independent up to replay rounding.
+  std::vector<std::vector<std::vector<ErrorEvent>>> all_events(
+      L, std::vector<std::vector<ErrorEvent>>(T));
+  struct Traj {
+    std::size_t site;  // first-error gate index
+    std::size_t member;
+    std::size_t t;  // original sample index within the member
+  };
+  std::vector<Traj> pool;
+  pool.reserve(L * T);
+  for (std::size_t i = 0; i < L; ++i)
+    for (std::size_t t = 0; t < T; ++t) {
+      all_events[i][t] = errors.sample_at_least_one(rngs[i]);
+      pool.push_back(Traj{all_events[i][t].front().gate_index, i, t});
+    }
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const Traj& a, const Traj& b) { return a.site < b.site; });
+
+  std::vector<std::vector<std::vector<double>>> margs(
+      L, std::vector<std::vector<double>>(T));
+  BatchedStateVector bsv(clean.circuit().num_qubits(), clean.lanes());
+  for (std::size_t lo = 0; lo < pool.size(); lo += L) {
+    const std::size_t lanes = std::min(L, pool.size() - lo);
+    std::vector<int> lane_map(lanes);
+    std::vector<std::vector<ErrorEvent>> lane_events(lanes);
+    for (std::size_t j = 0; j < lanes; ++j) {
+      const Traj& traj = pool[lo + j];
+      lane_map[j] = static_cast<int>(traj.member);
+      lane_events[j] = all_events[traj.member][traj.t];
+    }
+    // Scalar run_trajectory resumes at first_gate_index + 1; the group
+    // resumes at its earliest such site (pool is sorted, so that is the
+    // first entry) and later lanes replay the few extra ideal gates
+    // batched.
+    const std::size_t g0 = pool[lo].site + 1;
+    clean.load_states_at(g0, lane_map, bsv);
+    run_trajectories_batched(clean.plan(), bsv, g0, lane_events);
+    std::vector<std::vector<double>> group_margs =
+        bsv.all_lane_marginal_probabilities(output_qubits);
+    for (std::size_t j = 0; j < lanes; ++j)
+      margs[pool[lo + j].member][pool[lo + j].t] = std::move(group_margs[j]);
+  }
+
+  // Per member, accumulate in the original sample order (grouping-
+  // independent) and blend with the analytic clean weight.
+  const double scale = (1.0 - w0) / static_cast<double>(T);
+  std::vector<std::vector<double>> out(L);
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::vector<double>& ideal = ideals[i];
+    std::vector<double> err_mean(ideal.size(), 0.0);
+    for (std::size_t t = 0; t < T; ++t)
+      for (std::size_t b = 0; b < err_mean.size(); ++b)
+        err_mean[b] += margs[i][t][b];
+    out[i].resize(ideal.size());
+    for (std::size_t b = 0; b < out[i].size(); ++b)
+      out[i][b] = w0 * ideal[b] + scale * err_mean[b];
+  }
+  return out;
+}
+
 std::vector<std::uint64_t> sample_shot_counts(
     const std::vector<double>& distribution, std::uint64_t shots,
     Pcg64& rng) {
@@ -40,16 +208,10 @@ std::vector<std::uint64_t> sample_counts_per_shot(
   const int bits = static_cast<int>(output_qubits.size());
   std::vector<std::uint64_t> counts(ideal.size(), 0);
 
-  // Draw one outcome from a cumulative scan of `dist`.
-  auto draw = [&rng](const std::vector<double>& dist) {
-    const double u = rng.uniform();
-    double acc = 0.0;
-    for (std::size_t i = 0; i < dist.size(); ++i) {
-      acc += dist[i];
-      if (u < acc) return i;
-    }
-    return dist.size() - 1;
-  };
+  // Clean shots all draw from the ideal marginal: build its cumulative
+  // table once and binary-search per shot. Noisy shots get a fresh
+  // single-draw sampler for their own trajectory's marginal.
+  const CdfSampler ideal_sampler(ideal);
   // Flip each measured bit through the confusion matrix.
   auto misread = [&rng, &readout, bits](std::size_t v) {
     if (!readout.enabled()) return v;
@@ -64,11 +226,12 @@ std::vector<std::uint64_t> sample_counts_per_shot(
   for (std::uint64_t s = 0; s < shots; ++s) {
     const std::vector<ErrorEvent> events = errors.sample(rng);
     if (events.empty()) {
-      ++counts[misread(draw(ideal))];
+      ++counts[misread(ideal_sampler.draw(rng))];
       continue;
     }
     const StateVector sv = run_trajectory(clean, events);
-    ++counts[misread(draw(sv.marginal_probabilities(output_qubits)))];
+    const CdfSampler sampler(sv.marginal_probabilities(output_qubits));
+    ++counts[misread(sampler.draw(rng))];
   }
   return counts;
 }

@@ -40,6 +40,38 @@ std::vector<double> estimate_channel_marginal(const CleanRun& clean,
                                               const EstimatorOptions& options,
                                               Pcg64& rng);
 
+/// Batched-engine variant of estimate_channel_marginal: the T trajectories
+/// are stratified by first-error site and run up to `max_lanes` at a time
+/// through one shared plan pass (sim/batch.h). Statistically identical to
+/// the scalar estimator — event lists are pre-sampled sequentially so the
+/// rng stream matches exactly, and trajectory marginals are accumulated in
+/// their original sample order, so the result is independent of how
+/// trajectories were packed into lanes.
+std::vector<double> estimate_channel_marginal_batched(
+    const CleanRun& clean, const ErrorLocations& errors,
+    const std::vector<int>& output_qubits, const EstimatorOptions& options,
+    int max_lanes, Pcg64& rng);
+
+/// Same, for one lane (instance) of a batched group of clean runs.
+std::vector<double> estimate_channel_marginal_batched(
+    const BatchedCleanRun& clean, int lane, const ErrorLocations& errors,
+    const std::vector<int>& output_qubits, const EstimatorOptions& options,
+    int max_lanes, Pcg64& rng);
+
+/// Estimate every lane of a batched group at once — the highest-throughput
+/// path. Member i's event lists are pre-sampled from rngs[i] (one stream
+/// per member, consumed exactly as the scalar estimator would), then ALL
+/// members' trajectories are pooled, sorted by first-error site, and
+/// packed lanes-at-a-time: each batched pass replays one tight band of
+/// sites, so the lanes share almost all of their ideal suffix and the
+/// injection splits cluster into few fused ops. Each member's estimate is
+/// within replay rounding of its scalar estimate and independent of the
+/// packing. rngs.size() must equal clean.lanes().
+std::vector<std::vector<double>> estimate_channel_marginals_batched(
+    const BatchedCleanRun& clean, const ErrorLocations& errors,
+    const std::vector<int>& output_qubits, const EstimatorOptions& options,
+    std::vector<Pcg64>& rngs);
+
 /// Multinomial counts of `shots` draws from `distribution`.
 std::vector<std::uint64_t> sample_shot_counts(
     const std::vector<double>& distribution, std::uint64_t shots, Pcg64& rng);

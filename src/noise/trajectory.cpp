@@ -171,4 +171,133 @@ StateVector run_trajectory(const CleanRun& clean,
   return sv;
 }
 
+BatchedCleanRun::BatchedCleanRun(std::shared_ptr<const FusedPlan> plan,
+                                 const std::vector<StateVector>& initials,
+                                 std::size_t checkpoint_interval)
+    : plan_(std::move(plan)), interval_(checkpoint_interval) {
+  QFAB_CHECK(plan_ != nullptr);
+  QFAB_CHECK(!initials.empty() &&
+             initials.size() <=
+                 static_cast<std::size_t>(BatchedStateVector::kMaxLanes));
+  QFAB_CHECK(interval_ >= 1);
+  const int nq = plan_->circuit().num_qubits();
+  BatchedStateVector bsv(nq, static_cast<int>(initials.size()));
+  for (std::size_t l = 0; l < initials.size(); ++l) {
+    QFAB_CHECK(initials[l].num_qubits() == nq);
+    bsv.set_lane(static_cast<int>(l), initials[l]);
+  }
+  const std::size_t total = plan_->gate_count();
+  checkpoints_.reserve(total / interval_ + 2);
+  boundaries_.reserve(total / interval_ + 2);
+  checkpoints_.push_back(bsv);
+  boundaries_.push_back(0);
+  std::size_t applied = 0;
+  while (applied < total) {
+    std::size_t next = std::min(applied + interval_, total);
+    if (next < total) {
+      // Snap forward to the next fused-op boundary: an interval boundary
+      // inside an op would force a partial-op pass both here and on every
+      // resume from the checkpoint.
+      const FusedOp& op = plan_->ops()[plan_->op_of_gate(next)];
+      if (op.gate_begin != next) next = std::min(op.gate_end, total);
+    }
+    apply_plan_range(*plan_, bsv, applied, next);
+    applied = next;
+    checkpoints_.push_back(bsv);
+    boundaries_.push_back(applied);
+  }
+}
+
+StateVector BatchedCleanRun::lane_final_state(int lane) const {
+  return checkpoints_.back().lane_state(lane);
+}
+
+std::vector<double> BatchedCleanRun::lane_ideal_marginal(
+    int lane, const std::vector<int>& qubits) const {
+  return checkpoints_.back().lane_marginal_probabilities(lane, qubits);
+}
+
+std::size_t BatchedCleanRun::checkpoint_before(std::size_t gate_count) const {
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(),
+                                   gate_count);
+  return static_cast<std::size_t>(it - boundaries_.begin()) - 1;
+}
+
+StateVector BatchedCleanRun::lane_state_at(int lane,
+                                           std::size_t gate_count) const {
+  QFAB_CHECK(gate_count <= plan_->gate_count());
+  const std::size_t k = checkpoint_before(gate_count);
+  StateVector sv = checkpoints_[k].lane_state(lane);
+  plan_->apply_range(sv, boundaries_[k], gate_count);
+  return sv;
+}
+
+BatchedStateVector BatchedCleanRun::states_at(std::size_t gate_count) const {
+  QFAB_CHECK(gate_count <= plan_->gate_count());
+  const std::size_t k = checkpoint_before(gate_count);
+  BatchedStateVector bsv = checkpoints_[k];
+  apply_plan_range(*plan_, bsv, boundaries_[k], gate_count);
+  return bsv;
+}
+
+void BatchedCleanRun::load_states_at(std::size_t gate_count,
+                                     const std::vector<int>& lane_map,
+                                     BatchedStateVector& out) const {
+  QFAB_CHECK(gate_count <= plan_->gate_count());
+  const std::size_t k = checkpoint_before(gate_count);
+  out.assign_permuted(checkpoints_[k], lane_map);
+  apply_plan_range(*plan_, out, boundaries_[k], gate_count);
+}
+
+void run_trajectories_batched(
+    const FusedPlan& plan, BatchedStateVector& bsv, std::size_t start_gates,
+    const std::vector<std::vector<ErrorEvent>>& lane_events) {
+  QFAB_CHECK(lane_events.size() == static_cast<std::size_t>(bsv.lanes()));
+  const auto& gates = plan.circuit().gates();
+  const std::size_t total = plan.gate_count();
+
+  // Merge every lane's events into one ascending injection schedule; the
+  // stable sort keeps same-site injections in lane order (the order never
+  // matters physically — Paulis on different lanes commute — but it keeps
+  // the execution deterministic).
+  struct Injection {
+    std::size_t site;  // gate count at which the Pauli lands (index + 1)
+    int lane;
+    std::size_t gate_index;
+    Pauli pauli0, pauli1;
+  };
+  std::vector<Injection> schedule;
+  for (std::size_t l = 0; l < lane_events.size(); ++l) {
+    QFAB_CHECK(std::is_sorted(lane_events[l].begin(), lane_events[l].end(),
+                              [](const ErrorEvent& a, const ErrorEvent& b) {
+                                return a.gate_index < b.gate_index;
+                              }));
+    for (const ErrorEvent& ev : lane_events[l]) {
+      QFAB_CHECK(ev.gate_index < total);
+      QFAB_CHECK(ev.gate_index + 1 >= start_gates);
+      schedule.push_back(Injection{ev.gate_index + 1, static_cast<int>(l),
+                                   ev.gate_index, ev.pauli0, ev.pauli1});
+    }
+  }
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const Injection& a, const Injection& b) {
+                     return a.site < b.site;
+                   });
+
+  std::size_t applied = start_gates;
+  for (const Injection& inj : schedule) {
+    if (inj.site > applied) {
+      apply_plan_range(plan, bsv, applied, inj.site);
+      applied = inj.site;
+    }
+    const Gate& g = gates[inj.gate_index];
+    if (inj.pauli0 != Pauli::kI) bsv.apply_pauli(inj.lane, inj.pauli0, g.qubits[0]);
+    if (inj.pauli1 != Pauli::kI) {
+      QFAB_CHECK(g.arity() >= 2);
+      bsv.apply_pauli(inj.lane, inj.pauli1, g.qubits[1]);
+    }
+  }
+  apply_plan_range(plan, bsv, applied, total);
+}
+
 }  // namespace qfab

@@ -22,6 +22,7 @@
 
 #include "common/rng.h"
 #include "noise/noise_model.h"
+#include "sim/batch.h"
 #include "sim/fusion.h"
 #include "sim/statevector.h"
 
@@ -107,5 +108,65 @@ class ErrorLocations {
 /// events. Events must be sorted by gate_index. Returns the final state.
 StateVector run_trajectory(const CleanRun& clean,
                            const std::vector<ErrorEvent>& events);
+
+/// The ideal runs of one circuit from up to kMaxLanes *different* initial
+/// states (a group of operand instances), advanced in lockstep through one
+/// shared FusedPlan on the batched engine. Checkpoints are stored batched;
+/// per-lane queries extract a lane and (for state_at) replay the remainder
+/// on the scalar path.
+class BatchedCleanRun {
+ public:
+  BatchedCleanRun(std::shared_ptr<const FusedPlan> plan,
+                  const std::vector<StateVector>& initials,
+                  std::size_t checkpoint_interval = 64);
+
+  int lanes() const { return checkpoints_.front().lanes(); }
+  const FusedPlan& plan() const { return *plan_; }
+  const QuantumCircuit& circuit() const { return plan_->circuit(); }
+
+  /// Lane's state after the full circuit (lane pending phase folded in;
+  /// circuit global phase NOT applied, mirroring CleanRun::final_state).
+  StateVector lane_final_state(int lane) const;
+  /// Ideal output distribution of `qubits` for one lane.
+  std::vector<double> lane_ideal_marginal(int lane,
+                                          const std::vector<int>& qubits) const;
+  /// Lane's state after the first `gate_count` gates (nearest batched
+  /// checkpoint, lane extracted, remainder replayed scalar).
+  StateVector lane_state_at(int lane, std::size_t gate_count) const;
+  /// Every lane's state after the first `gate_count` gates, as one batched
+  /// vector: nearest checkpoint copied, remainder replayed batched (fused
+  /// via subrange plans). Feeds group trajectory replays directly.
+  BatchedStateVector states_at(std::size_t gate_count) const;
+  /// Allocation-free, lane-permuted form of states_at: `out` lane j
+  /// becomes member lane_map[j]'s state after `gate_count` gates (members
+  /// may repeat, so one group can carry several trajectories of the same
+  /// member). Reuses `out`'s storage across calls.
+  void load_states_at(std::size_t gate_count, const std::vector<int>& lane_map,
+                      BatchedStateVector& out) const;
+
+ private:
+  /// Index of the last checkpoint at or before `gate_count` gates.
+  std::size_t checkpoint_before(std::size_t gate_count) const;
+
+  std::shared_ptr<const FusedPlan> plan_;
+  std::size_t interval_;
+  /// Checkpoints land on fused-op boundaries at (or just past) every
+  /// `interval_` gates, so building and resuming from them never splits an
+  /// op. boundaries_[k] is the gate count of checkpoints_[k]; the last
+  /// checkpoint is the final state.
+  std::vector<std::size_t> boundaries_;
+  std::vector<BatchedStateVector> checkpoints_;
+};
+
+/// Advance every lane of `bsv` — pre-loaded with its trajectory's state
+/// after `start_gates` gates — through the rest of the plan, injecting
+/// lane_events[l] into lane l at the exact gate sites. Shared gate segments
+/// between injection sites execute batched; each injection is a per-lane
+/// Pauli between segments. Each lane's events must be sorted by gate_index
+/// with first site >= start_gates (site = gate_index + 1). The circuit
+/// global phase is NOT applied (mirrors run_trajectory).
+void run_trajectories_batched(
+    const FusedPlan& plan, BatchedStateVector& bsv, std::size_t start_gates,
+    const std::vector<std::vector<ErrorEvent>>& lane_events);
 
 }  // namespace qfab

@@ -1,0 +1,499 @@
+#include "sim/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/check.h"
+
+namespace qfab {
+
+namespace {
+
+cplx expi(double t) { return {std::cos(t), std::sin(t)}; }
+
+/// One resolved set of batched kernels (scalar or AVX2 build of the same
+/// bodies). Selected once at startup, swappable via set_simd_mode().
+struct BatchKernelTable {
+  void (*matrix1)(double*, double*, u64, u64, int, const cplx*);
+  void (*matrix2)(double*, double*, u64, u64, int, int, const cplx*);
+  void (*diag1)(double*, double*, u64, u64, int, const cplx*);
+  void (*diag)(double*, double*, u64, u64, const FusedOp::DiagShift*, int,
+               const cplx*);
+  void (*phase_on_bit)(double*, double*, u64, u64, int, cplx);
+  void (*gate)(double*, double*, u64, u64, const Gate&);
+};
+
+#define QFAB_RESTRICT __restrict__
+
+// Portable build of the kernel bodies: plain C++, autovectorized for the
+// baseline ISA. This is the fallback CI pins with QFAB_SIMD=scalar.
+namespace ker_scalar {
+#define QFAB_KERNEL_ATTR
+#include "sim/batch_kernels.inc"
+#undef QFAB_KERNEL_ATTR
+}  // namespace ker_scalar
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__)) && !defined(QFAB_SIMD_SCALAR_ONLY)
+#define QFAB_HAVE_AVX2_TABLE 1
+// AVX2+FMA build of the same bodies: the target attribute lets the
+// compiler emit 256-bit FMA code for exactly these functions, so the
+// binary stays runnable on any x86-64 host.
+namespace ker_avx2 {
+#define QFAB_KERNEL_ATTR __attribute__((target("avx2,fma")))
+#include "sim/batch_kernels.inc"
+#undef QFAB_KERNEL_ATTR
+}  // namespace ker_avx2
+#else
+#define QFAB_HAVE_AVX2_TABLE 0
+#endif
+
+const BatchKernelTable kScalarTable = ker_scalar::kernel_table();
+#if QFAB_HAVE_AVX2_TABLE
+const BatchKernelTable kAvx2Table = ker_avx2::kernel_table();
+#endif
+
+bool cpu_has_avx2() {
+#if QFAB_HAVE_AVX2_TABLE
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+/// The requested mode before resolution: build default, then environment.
+SimdMode requested_mode() {
+#if defined(QFAB_SIMD_SCALAR_ONLY)
+  SimdMode mode = SimdMode::kScalar;
+#elif defined(QFAB_SIMD_FORCE_AVX2)
+  SimdMode mode = SimdMode::kAvx2;
+#else
+  SimdMode mode = SimdMode::kAuto;
+#endif
+  if (const char* env = std::getenv("QFAB_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) mode = SimdMode::kScalar;
+    else if (std::strcmp(env, "avx2") == 0) mode = SimdMode::kAvx2;
+    else if (std::strcmp(env, "auto") == 0) mode = SimdMode::kAuto;
+  }
+  return mode;
+}
+
+const BatchKernelTable* resolve(SimdMode mode) {
+  if (mode == SimdMode::kAuto)
+    mode = cpu_has_avx2() ? SimdMode::kAvx2 : SimdMode::kScalar;
+#if QFAB_HAVE_AVX2_TABLE
+  if (mode == SimdMode::kAvx2 && cpu_has_avx2()) return &kAvx2Table;
+#endif
+  return &kScalarTable;
+}
+
+std::atomic<const BatchKernelTable*>& table_slot() {
+  static std::atomic<const BatchKernelTable*> slot{resolve(requested_mode())};
+  return slot;
+}
+
+const BatchKernelTable& active_table() {
+  return *table_slot().load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+SimdMode simd_mode() {
+#if QFAB_HAVE_AVX2_TABLE
+  if (&active_table() == &kAvx2Table) return SimdMode::kAvx2;
+#endif
+  return SimdMode::kScalar;
+}
+
+void set_simd_mode(SimdMode mode) {
+  table_slot().store(resolve(mode), std::memory_order_relaxed);
+}
+
+const char* simd_mode_name() {
+  return simd_mode() == SimdMode::kAvx2 ? "avx2" : "scalar";
+}
+
+// ---------------------------------------------------------------------------
+// BatchedStateVector
+// ---------------------------------------------------------------------------
+
+BatchedStateVector::BatchedStateVector(int num_qubits, int lanes)
+    : num_qubits_(num_qubits), lanes_(lanes) {
+  QFAB_CHECK_MSG(num_qubits >= 1 && num_qubits <= 30,
+                 "unsupported qubit count " << num_qubits);
+  QFAB_CHECK_MSG(lanes >= 1 && lanes <= kMaxLanes,
+                 "unsupported lane count " << lanes);
+  const std::size_t total = dim() * static_cast<std::size_t>(lanes_);
+  re_.assign(total, 0.0);
+  im_.assign(total, 0.0);
+  pending_.assign(static_cast<std::size_t>(lanes_), 0.0);
+  for (int l = 0; l < lanes_; ++l) re_[static_cast<std::size_t>(l)] = 1.0;
+}
+
+void BatchedStateVector::set_lane(int lane, const StateVector& sv) {
+  QFAB_CHECK(lane >= 0 && lane < lanes_);
+  QFAB_CHECK(sv.num_qubits() == num_qubits_);
+  const std::vector<cplx>& a = sv.amplitudes();
+  const u64 L = static_cast<u64>(lanes_);
+  for (u64 i = 0; i < a.size(); ++i) {
+    re_[i * L + static_cast<u64>(lane)] = a[i].real();
+    im_[i * L + static_cast<u64>(lane)] = a[i].imag();
+  }
+  pending_[static_cast<std::size_t>(lane)] = 0.0;
+}
+
+void BatchedStateVector::broadcast(const StateVector& sv) {
+  QFAB_CHECK(sv.num_qubits() == num_qubits_);
+  const std::vector<cplx>& a = sv.amplitudes();
+  const u64 L = static_cast<u64>(lanes_);
+  for (u64 i = 0; i < a.size(); ++i) {
+    const double ar = a[i].real(), ai = a[i].imag();
+    double* r = re_.data() + i * L;
+    double* m = im_.data() + i * L;
+    for (u64 l = 0; l < L; ++l) {
+      r[l] = ar;
+      m[l] = ai;
+    }
+  }
+  std::fill(pending_.begin(), pending_.end(), 0.0);
+}
+
+StateVector BatchedStateVector::lane_state(int lane) const {
+  QFAB_CHECK(lane >= 0 && lane < lanes_);
+  const u64 L = static_cast<u64>(lanes_);
+  const cplx ph = expi(pending_[static_cast<std::size_t>(lane)]);
+  std::vector<cplx> amps(dim());
+  for (u64 i = 0; i < amps.size(); ++i)
+    amps[i] = cplx{re_[i * L + static_cast<u64>(lane)],
+                   im_[i * L + static_cast<u64>(lane)]} *
+              ph;
+  return StateVector::from_amplitudes(std::move(amps));
+}
+
+void BatchedStateVector::assign_permuted(const BatchedStateVector& src,
+                                         const std::vector<int>& lane_map) {
+  QFAB_CHECK(this != &src);
+  QFAB_CHECK(!lane_map.empty() &&
+             lane_map.size() <= static_cast<std::size_t>(kMaxLanes));
+  for (int l : lane_map) QFAB_CHECK(l >= 0 && l < src.lanes_);
+  num_qubits_ = src.num_qubits_;
+  lanes_ = static_cast<int>(lane_map.size());
+  const u64 L = static_cast<u64>(lanes_);
+  const u64 S = static_cast<u64>(src.lanes_);
+  const u64 n = dim();
+  re_.resize(n * L);
+  im_.resize(n * L);
+  pending_.resize(L);
+  for (u64 j = 0; j < L; ++j)
+    pending_[j] = src.pending_[static_cast<std::size_t>(lane_map[j])];
+  for (u64 i = 0; i < n; ++i) {
+    const double* sr = src.re_.data() + i * S;
+    const double* sm = src.im_.data() + i * S;
+    double* dr = re_.data() + i * L;
+    double* dm = im_.data() + i * L;
+    for (u64 j = 0; j < L; ++j) {
+      const u64 s = static_cast<u64>(lane_map[j]);
+      dr[j] = sr[s];
+      dm[j] = sm[s];
+    }
+  }
+}
+
+void BatchedStateVector::apply_pauli(int lane, Pauli p, int q) {
+  QFAB_CHECK(lane >= 0 && lane < lanes_);
+  QFAB_CHECK(q >= 0 && q < num_qubits_);
+  const u64 L = static_cast<u64>(lanes_);
+  const u64 col = static_cast<u64>(lane);
+  const u64 bit = u64{1} << q;
+  const u64 n = dim();
+  double* r = re_.data();
+  double* m = im_.data();
+  switch (p) {
+    case Pauli::kI:
+      return;
+    case Pauli::kX:
+      for (u64 base = 0; base < n; base += 2 * bit)
+        for (u64 off = 0; off < bit; ++off) {
+          const u64 i0 = (base + off) * L + col;
+          const u64 i1 = (base + off + bit) * L + col;
+          std::swap(r[i0], r[i1]);
+          std::swap(m[i0], m[i1]);
+        }
+      return;
+    case Pauli::kY:
+      for (u64 base = 0; base < n; base += 2 * bit)
+        for (u64 off = 0; off < bit; ++off) {
+          const u64 i0 = (base + off) * L + col;
+          const u64 i1 = (base + off + bit) * L + col;
+          const double v0r = r[i0], v0i = m[i0];
+          const double v1r = r[i1], v1i = m[i1];
+          r[i0] = v1i;   // -i * v1
+          m[i0] = -v1r;
+          r[i1] = -v0i;  //  i * v0
+          m[i1] = v0r;
+        }
+      return;
+    case Pauli::kZ:
+      for (u64 base = bit; base < n; base += 2 * bit)
+        for (u64 off = 0; off < bit; ++off) {
+          const u64 i = (base + off) * L + col;
+          r[i] = -r[i];
+          m[i] = -m[i];
+        }
+      return;
+  }
+}
+
+void BatchedStateVector::apply_global_phase(double phase) {
+  for (double& p : pending_) p += phase;
+}
+
+void BatchedStateVector::apply_lane_global_phase(int lane, double phase) {
+  QFAB_CHECK(lane >= 0 && lane < lanes_);
+  pending_[static_cast<std::size_t>(lane)] += phase;
+}
+
+std::vector<double> BatchedStateVector::lane_probabilities(int lane) const {
+  QFAB_CHECK(lane >= 0 && lane < lanes_);
+  const u64 L = static_cast<u64>(lanes_);
+  const u64 col = static_cast<u64>(lane);
+  std::vector<double> p(dim());
+  for (u64 i = 0; i < p.size(); ++i) {
+    const double ar = re_[i * L + col], ai = im_[i * L + col];
+    p[i] = ar * ar + ai * ai;
+  }
+  return p;
+}
+
+std::vector<double> BatchedStateVector::lane_marginal_probabilities(
+    int lane, const std::vector<int>& qubits) const {
+  QFAB_CHECK(lane >= 0 && lane < lanes_);
+  QFAB_CHECK(!qubits.empty() &&
+             qubits.size() <= static_cast<std::size_t>(num_qubits_));
+  for (int q : qubits) QFAB_CHECK(q >= 0 && q < num_qubits_);
+  std::vector<double> out(pow2(static_cast<int>(qubits.size())), 0.0);
+  const u64 L = static_cast<u64>(lanes_);
+  const u64 col = static_cast<u64>(lane);
+  const u64 n = dim();
+  bool contiguous = true;
+  for (std::size_t b = 0; b < qubits.size(); ++b)
+    if (qubits[b] != qubits[0] + static_cast<int>(b)) {
+      contiguous = false;
+      break;
+    }
+  if (contiguous) {
+    const int shift = qubits[0];
+    const u64 mask = static_cast<u64>(out.size()) - 1;
+    for (u64 i = 0; i < n; ++i) {
+      const double ar = re_[i * L + col], ai = im_[i * L + col];
+      out[(i >> shift) & mask] += ar * ar + ai * ai;
+    }
+    return out;
+  }
+  for (u64 i = 0; i < n; ++i) {
+    const double ar = re_[i * L + col], ai = im_[i * L + col];
+    const double pr = ar * ar + ai * ai;
+    if (pr == 0.0) continue;
+    u64 key = 0;
+    for (std::size_t b = 0; b < qubits.size(); ++b)
+      key |= static_cast<u64>(get_bit(i, qubits[b])) << b;
+    out[key] += pr;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>>
+BatchedStateVector::all_lane_marginal_probabilities(
+    const std::vector<int>& qubits) const {
+  QFAB_CHECK(!qubits.empty() &&
+             qubits.size() <= static_cast<std::size_t>(num_qubits_));
+  for (int q : qubits) QFAB_CHECK(q >= 0 && q < num_qubits_);
+  const u64 L = static_cast<u64>(lanes_);
+  const u64 n = dim();
+  const u64 out_size = pow2(static_cast<int>(qubits.size()));
+  bool contiguous = true;
+  for (std::size_t b = 0; b < qubits.size(); ++b)
+    if (qubits[b] != qubits[0] + static_cast<int>(b)) {
+      contiguous = false;
+      break;
+    }
+  // acc[key * L + lane]: per amplitude row the accumulation is one
+  // unit-stride fused multiply-add over the lanes. Additions land per
+  // (lane, key) in ascending amplitude order — exactly the order
+  // lane_marginal_probabilities uses — so the results are bitwise equal.
+  std::vector<double> acc(out_size * L, 0.0);
+  const int shift = qubits[0];
+  const u64 mask = out_size - 1;
+  for (u64 i = 0; i < n; ++i) {
+    u64 key;
+    if (contiguous) {
+      key = (i >> shift) & mask;
+    } else {
+      key = 0;
+      for (std::size_t b = 0; b < qubits.size(); ++b)
+        key |= static_cast<u64>(get_bit(i, qubits[b])) << b;
+    }
+    const double* r = re_.data() + i * L;
+    const double* m = im_.data() + i * L;
+    double* a = acc.data() + key * L;
+    for (u64 l = 0; l < L; ++l) a[l] += r[l] * r[l] + m[l] * m[l];
+  }
+  std::vector<std::vector<double>> out(static_cast<std::size_t>(lanes_));
+  for (u64 l = 0; l < L; ++l) {
+    out[l].resize(out_size);
+    for (u64 k = 0; k < out_size; ++k) out[l][k] = acc[k * L + l];
+  }
+  return out;
+}
+
+double BatchedStateVector::lane_norm(int lane) const {
+  QFAB_CHECK(lane >= 0 && lane < lanes_);
+  const u64 L = static_cast<u64>(lanes_);
+  const u64 col = static_cast<u64>(lane);
+  double s = 0.0;
+  for (u64 i = 0; i < dim(); ++i) {
+    const double ar = re_[i * L + col], ai = im_[i * L + col];
+    s += ar * ar + ai * ai;
+  }
+  return std::sqrt(s);
+}
+
+// ---------------------------------------------------------------------------
+// Batched plan execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Scalar op work routed to the lanes' pending phases exactly once per op
+/// (never per tile): RZ prefactors of passthrough gates and k = 0 diagonal
+/// ops (identity-up-to-phase products).
+void add_pending(const FusedPlan& plan, BatchedStateVector& bsv,
+                 const FusedOp& op) {
+  if (op.kind == FusedOp::Kind::kGate) {
+    const Gate& gate = plan.circuit().gates()[op.gate_begin];
+    if (gate.kind == GateKind::kRZ)
+      bsv.apply_global_phase(-gate.params[0] / 2);
+  } else if (op.kind == FusedOp::Kind::kDiagonal && op.qubits.empty()) {
+    bsv.apply_global_phase(std::arg(op.phases[0]));
+  }
+}
+
+void apply_chunk(const BatchKernelTable& K, const FusedPlan& plan, double* re,
+                 double* im, u64 len, u64 L, const FusedOp& op) {
+  switch (op.kind) {
+    case FusedOp::Kind::kMatrix1:
+      K.matrix1(re, im, len, L, op.q0, op.m.data());
+      return;
+    case FusedOp::Kind::kMatrix2:
+      K.matrix2(re, im, len, L, op.q0, op.q1, op.m.data());
+      return;
+    case FusedOp::Kind::kDiagonal:
+      if (op.qubits.empty()) return;  // handled by add_pending
+      if (op.qubits.size() == 1)
+        K.diag1(re, im, len, L, op.qubits[0], op.phases.data());
+      else
+        K.diag(re, im, len, L, op.shifts.data(),
+               static_cast<int>(op.shifts.size()), op.phases.data());
+      return;
+    case FusedOp::Kind::kGate:
+      K.gate(re, im, len, L, plan.circuit().gates()[op.gate_begin]);
+      return;
+  }
+}
+
+/// Apply whole ops [op_lo, op_hi), cache-blocked. A batched tile row is L
+/// amplitudes wide, so the tile shrinks by log2(L) to keep the same L1
+/// footprint as the scalar path.
+void apply_ops_batched(const FusedPlan& plan, BatchedStateVector& bsv,
+                       std::size_t op_lo, std::size_t op_hi) {
+  const BatchKernelTable& K = active_table();
+  const auto& ops = plan.ops();
+  double* re = bsv.re();
+  double* im = bsv.im();
+  const u64 L = static_cast<u64>(bsv.lanes());
+  const u64 n = bsv.dim();
+  int tb = plan.options().tile_bits - ceil_log2(L);
+  tb = std::max(tb, 4);
+  tb = std::min(tb, bsv.num_qubits());
+  const u64 tile = u64{1} << tb;
+
+  std::size_t i = op_lo;
+  while (i < op_hi) {
+    if (ops[i].max_qubit < tb) {
+      std::size_t j = i;
+      while (j < op_hi && ops[j].max_qubit < tb) ++j;
+      for (std::size_t k = i; k < j; ++k) add_pending(plan, bsv, ops[k]);
+      for (u64 base = 0; base < n; base += tile)
+        for (std::size_t k = i; k < j; ++k)
+          apply_chunk(K, plan, re + base * L, im + base * L, tile, L, ops[k]);
+      i = j;
+    } else {
+      add_pending(plan, bsv, ops[i]);
+      apply_chunk(K, plan, re, im, n, L, ops[i]);
+      ++i;
+    }
+  }
+}
+
+/// Batched per-gate fallback for partially covered ops.
+void apply_gates_batched(const FusedPlan& plan, BatchedStateVector& bsv,
+                         std::size_t gate_begin, std::size_t gate_end) {
+  const BatchKernelTable& K = active_table();
+  double* re = bsv.re();
+  double* im = bsv.im();
+  const u64 L = static_cast<u64>(bsv.lanes());
+  const u64 n = bsv.dim();
+  for (std::size_t g = gate_begin; g < gate_end; ++g) {
+    const Gate& gate = plan.circuit().gates()[g];
+    if (gate.kind == GateKind::kRZ)
+      bsv.apply_global_phase(-gate.params[0] / 2);
+    K.gate(re, im, n, L, gate);
+  }
+}
+
+}  // namespace
+
+void apply_plan(const FusedPlan& plan, BatchedStateVector& bsv) {
+  QFAB_CHECK(bsv.num_qubits() == plan.circuit().num_qubits());
+  apply_ops_batched(plan, bsv, 0, plan.op_count());
+  bsv.apply_global_phase(plan.circuit().global_phase());
+}
+
+void apply_plan_range(const FusedPlan& plan, BatchedStateVector& bsv,
+                      std::size_t gate_begin, std::size_t gate_end) {
+  QFAB_CHECK(bsv.num_qubits() == plan.circuit().num_qubits());
+  QFAB_CHECK(gate_begin <= gate_end && gate_end <= plan.gate_count());
+  const auto& ops = plan.ops();
+  std::size_t g = gate_begin;
+  while (g < gate_end) {
+    const std::size_t oi = plan.op_of_gate(g);
+    const FusedOp& op = ops[oi];
+    if (op.gate_begin == g && op.gate_end <= gate_end) {
+      // Maximal run of fully covered ops, executed fused (cache-blocked).
+      std::size_t oj = oi;
+      while (oj < ops.size() && ops[oj].gate_end <= gate_end) ++oj;
+      apply_ops_batched(plan, bsv, oi, oj);
+      g = ops[oj - 1].gate_end;
+    } else {
+      // The split lands inside this op (per-lane noise injection can split
+      // anywhere). Multi-gate slices run through a cached fused plan of
+      // the slice itself — a handful of passes instead of one full pass
+      // per gate, which dominates trajectory replay when a split lands in
+      // a big collapsed diagonal.
+      const std::size_t stop = std::min(gate_end, op.gate_end);
+      if (stop - g >= 2) {
+        const FusedPlan& sub = plan.subrange_plan(g, stop);
+        apply_ops_batched(sub, bsv, 0, sub.op_count());
+      } else {
+        apply_gates_batched(plan, bsv, g, stop);
+      }
+      g = stop;
+    }
+  }
+}
+
+}  // namespace qfab

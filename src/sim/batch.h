@@ -1,0 +1,136 @@
+// Batched SIMD state-vector engine.
+//
+// Every data point of the paper's sweeps replays the *same* fused execution
+// plan over hundreds of operand instances and many noise trajectories; only
+// the initial states and the Pauli injection sites differ. The single-state
+// path walks each 2^n vector alone, so vector units run half-empty and
+// every op's decode (matrix loads, phase-table key gathers) is repaid per
+// state. BatchedStateVector runs B such states ("lanes") through one plan
+// pass in a structure-of-arrays layout:
+//
+//     re[amp * B + lane],  im[amp * B + lane]
+//
+// — amplitude-major, lane-minor, split real/imaginary planes — so every
+// kernel's inner loop is a unit-stride stream of B doubles: the shape that
+// autovectorizes to full-width FMAs with no shuffles, and that amortizes
+// per-amplitude op decode (diagonal key gathers, matrix broadcast) across
+// all lanes.
+//
+// Kernels are compiled twice — a portable scalar build and an AVX2+FMA
+// build ("target" function attributes) — and one table is selected once at
+// startup by CPUID (overridable via the QFAB_SIMD environment variable or
+// set_simd_mode(); the QFAB_SIMD CMake option pins the choice at build
+// time). The scalar table is the reference fallback CI runs under
+// sanitizers.
+//
+// Lane divergence: shared plan segments execute batched; per-lane Pauli
+// injections (apply_pauli with a lane index) land at their exact gate sites
+// between apply_plan_range calls, exactly mirroring the scalar trajectory
+// split-point protocol, then batched execution resumes. See
+// noise/trajectory.h for the batched trajectory driver built on top.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/fusion.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+
+/// Which kernel table executes batched ops.
+enum class SimdMode {
+  kAuto,    // detect at startup: AVX2+FMA when the CPU has both
+  kAvx2,    // force the AVX2+FMA table (falls back if unavailable)
+  kScalar,  // force the portable table
+};
+
+/// The resolved mode (never kAuto): what batched kernels actually run.
+/// Resolution order: set_simd_mode() override, else the QFAB_SIMD
+/// environment variable ("auto" | "avx2" | "scalar"), else the build's
+/// QFAB_SIMD CMake default, else CPUID.
+SimdMode simd_mode();
+
+/// Override the dispatch (tests and benches; kAuto restores detection).
+void set_simd_mode(SimdMode mode);
+
+/// "avx2" or "scalar" for the resolved mode.
+const char* simd_mode_name();
+
+/// B state vectors advanced in lockstep through shared plan segments.
+class BatchedStateVector {
+ public:
+  /// Lanes start as |0...0>. 1 <= lanes <= kMaxLanes; ragged final batches
+  /// of a sweep simply construct with fewer lanes.
+  BatchedStateVector(int num_qubits, int lanes);
+
+  static constexpr int kMaxLanes = 64;
+
+  int num_qubits() const { return num_qubits_; }
+  int lanes() const { return lanes_; }
+  u64 dim() const { return pow2(num_qubits_); }
+
+  /// Copy a state into one lane (pending phase folded in).
+  void set_lane(int lane, const StateVector& sv);
+  /// Copy one state into every lane (trajectory batches of one instance).
+  void broadcast(const StateVector& sv);
+  /// Extract one lane as a StateVector (lane pending phase folded in).
+  StateVector lane_state(int lane) const;
+  /// Reload this vector from `src` with lanes permuted: lane j becomes
+  /// src lane lane_map[j] (repeats allowed, so several trajectories of one
+  /// member can occupy their own lanes). Reuses this vector's storage —
+  /// the allocation-free way to seed a trajectory group from a batched
+  /// checkpoint.
+  void assign_permuted(const BatchedStateVector& src,
+                       const std::vector<int>& lane_map);
+
+  /// Per-lane divergence: apply a Pauli to one lane only (noise injection
+  /// between batched segments).
+  void apply_pauli(int lane, Pauli p, int q);
+  /// Accumulate a global phase on every lane (lazy, like StateVector).
+  void apply_global_phase(double phase);
+  /// ... or on one lane.
+  void apply_lane_global_phase(int lane, double phase);
+
+  /// |amp|^2 of one lane (phase-free; pending phase is irrelevant).
+  std::vector<double> lane_probabilities(int lane) const;
+  /// Marginal distribution of `qubits` for one lane (see
+  /// StateVector::marginal_probabilities).
+  std::vector<double> lane_marginal_probabilities(
+      int lane, const std::vector<int>& qubits) const;
+  /// Marginal distribution of `qubits` for every lane in one pass over the
+  /// planes (one key decode per amplitude row, unit-stride accumulation
+  /// across lanes). Per lane, the sums are bitwise equal to
+  /// lane_marginal_probabilities.
+  std::vector<std::vector<double>> all_lane_marginal_probabilities(
+      const std::vector<int>& qubits) const;
+  double lane_norm(int lane) const;
+
+  /// Raw planes for the batched kernels (amp-major, lane-minor).
+  double* re() { return re_.data(); }
+  double* im() { return im_.data(); }
+  const double* re() const { return re_.data(); }
+  const double* im() const { return im_.data(); }
+
+ private:
+  friend void apply_plan_range(const FusedPlan&, BatchedStateVector&,
+                               std::size_t, std::size_t);
+
+  int num_qubits_ = 0;
+  int lanes_ = 1;
+  std::vector<double> re_, im_;
+  std::vector<double> pending_;  // per-lane lazy global phase (radians)
+};
+
+/// Apply the full plan to every lane, including the circuit's global phase
+/// (mirrors FusedPlan::apply).
+void apply_plan(const FusedPlan& plan, BatchedStateVector& bsv);
+
+/// Apply original gates [gate_begin, gate_end) to every lane; global phase
+/// NOT applied (mirrors FusedPlan::apply_range). Boundaries may fall inside
+/// fused ops — partially covered gates run on batched per-gate kernels — so
+/// per-lane noise injection can split anywhere.
+void apply_plan_range(const FusedPlan& plan, BatchedStateVector& bsv,
+                      std::size_t gate_begin, std::size_t gate_end);
+
+}  // namespace qfab

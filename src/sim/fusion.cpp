@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <mutex>
+#include <unordered_map>
 
 namespace qfab {
 
@@ -617,11 +619,34 @@ bool simplify_pass(std::vector<FusedOp>& ops) {
 
 }  // namespace
 
+struct FusedPlan::SubrangeCache {
+  std::mutex mutex;
+  std::unordered_map<std::uint64_t, std::unique_ptr<const FusedPlan>> plans;
+};
+
 FusedPlan::FusedPlan(const QuantumCircuit& qc, const FusionOptions& options)
-    : circuit_(qc), options_(options) {
+    : circuit_(qc),
+      options_(options),
+      subranges_(std::make_shared<SubrangeCache>()) {
   QFAB_CHECK(options_.max_diagonal_qubits >= 3);
   QFAB_CHECK(options_.tile_bits >= 2);
   compile();
+}
+
+const FusedPlan& FusedPlan::subrange_plan(std::size_t gate_begin,
+                                          std::size_t gate_end) const {
+  QFAB_CHECK(gate_begin <= gate_end && gate_end <= gate_count());
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(gate_begin) << 32) | gate_end;
+  std::lock_guard<std::mutex> lock(subranges_->mutex);
+  std::unique_ptr<const FusedPlan>& slot = subranges_->plans[key];
+  if (!slot) {
+    QuantumCircuit sub = QuantumCircuit::same_shape(circuit_);
+    for (std::size_t g = gate_begin; g < gate_end; ++g)
+      sub.append(circuit_.gates()[g]);
+    slot = std::make_unique<const FusedPlan>(sub, options_);
+  }
+  return *slot;
 }
 
 std::size_t FusedPlan::op_of_gate(std::size_t gate_index) const {

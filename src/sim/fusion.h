@@ -39,6 +39,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -120,6 +121,15 @@ class FusedPlan {
   void apply_range(StateVector& sv, std::size_t gate_begin,
                    std::size_t gate_end) const;
 
+  /// Lazily compiled fused plan for the original-gate subrange
+  /// [gate_begin, gate_end), cached (thread-safe) for the plan's lifetime
+  /// and shared across copies. Noise injection splits the same few sites
+  /// over and over across a sweep's trajectories; compiling the partial
+  /// slice of a big fused op once turns its per-gate fallback (one full
+  /// amplitude pass per gate) back into a handful of fused passes.
+  const FusedPlan& subrange_plan(std::size_t gate_begin,
+                                 std::size_t gate_end) const;
+
  private:
   void compile();
   /// Apply whole ops [op_lo, op_hi), cache-blocked.
@@ -132,6 +142,8 @@ class FusedPlan {
   FusionOptions options_;
   std::vector<FusedOp> ops_;                // partition of [0, gate_count)
   std::vector<std::uint32_t> op_of_gate_;   // gate index -> op index
+  struct SubrangeCache;                     // lazily compiled subrange plans
+  std::shared_ptr<SubrangeCache> subranges_;
 };
 
 }  // namespace qfab

@@ -335,20 +335,17 @@ std::vector<double> StateVector::marginal_probabilities(
 }
 
 u64 StateVector::sample(Pcg64& rng) const {
-  double u = rng.uniform();
-  const u64 n = dim();
-  double acc = 0.0;
-  for (u64 i = 0; i < n; ++i) {
-    acc += std::norm(amps_[i]);
-    if (u < acc) return i;
-  }
-  return n - 1;  // numerical slack: norm sums to 1 ± epsilon
+  return CdfSampler(probabilities()).draw(rng);
 }
 
 std::vector<std::uint64_t> StateVector::sample_counts(
     const std::vector<int>& qubits, std::uint64_t shots, Pcg64& rng) const {
-  const std::vector<double> marg = marginal_probabilities(qubits);
-  return multinomial(rng, shots, marg);
+  // One cumulative table, then O(log n) per shot (shots is typically 2048
+  // against a 2^|qubits| table).
+  const CdfSampler sampler(marginal_probabilities(qubits));
+  std::vector<std::uint64_t> counts(sampler.size(), 0);
+  for (std::uint64_t s = 0; s < shots; ++s) ++counts[sampler.draw(rng)];
+  return counts;
 }
 
 }  // namespace qfab

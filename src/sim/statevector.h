@@ -74,7 +74,8 @@ class StateVector {
   u64 sample(Pcg64& rng) const;
   /// Sample `shots` outcomes of the given qubit subset, returning a count
   /// per outcome (size 2^{qubits.size()}). Equivalent to repeated
-  /// measure-and-reprepare; sampled multinomially from the marginal.
+  /// measure-and-reprepare; each shot binary-searches one cumulative table
+  /// of the marginal (CdfSampler).
   std::vector<std::uint64_t> sample_counts(const std::vector<int>& qubits,
                                            std::uint64_t shots,
                                            Pcg64& rng) const;

@@ -1,0 +1,494 @@
+// Batched-engine validation: BatchedStateVector must match the scalar
+// StateVector/FusedPlan path to <= 1e-12 on random circuits over every
+// fused op kind — including mid-plan per-lane Pauli injections at every
+// gate index, ragged lane counts, and both kernel tables (the suite is
+// also re-run with QFAB_SIMD=scalar by the "scalar" CTest label).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "exp/experiment.h"
+#include "noise/estimator.h"
+#include "sim/batch.h"
+#include "sim/fusion.h"
+
+namespace qfab {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+std::vector<cplx> random_state(int n, Pcg64& rng) {
+  std::vector<cplx> amps(pow2(n));
+  double norm = 0.0;
+  for (cplx& a : amps) {
+    a = cplx{rng.uniform() - 0.5, rng.uniform() - 0.5};
+    norm += std::norm(a);
+  }
+  const double s = 1.0 / std::sqrt(norm);
+  for (cplx& a : amps) a *= s;
+  return amps;
+}
+
+double state_distance(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::norm(a[i] - b[i]);
+  return std::sqrt(d);
+}
+
+/// A random circuit drawing from every supported gate kind (fuses into
+/// every op kind: kGate, kMatrix1, kMatrix2, kDiagonal).
+QuantumCircuit random_circuit(int n, int gates, Pcg64& rng) {
+  static const GateKind kKinds[] = {
+      GateKind::kId, GateKind::kX,    GateKind::kY,  GateKind::kZ,
+      GateKind::kH,  GateKind::kSX,   GateKind::kSXdg, GateKind::kRZ,
+      GateKind::kRY, GateKind::kRX,   GateKind::kP,  GateKind::kU,
+      GateKind::kCX, GateKind::kCZ,   GateKind::kCP, GateKind::kCH,
+      GateKind::kSWAP, GateKind::kCCP, GateKind::kCCX};
+  QuantumCircuit qc(n);
+  for (int i = 0; i < gates; ++i) {
+    const GateKind kind = kKinds[rng.uniform_int(std::size(kKinds))];
+    const int arity = gate_arity(kind);
+    int q[3];
+    q[0] = static_cast<int>(rng.uniform_int(n));
+    do q[1] = static_cast<int>(rng.uniform_int(n));
+    while (q[1] == q[0]);
+    do q[2] = static_cast<int>(rng.uniform_int(n));
+    while (q[2] == q[0] || q[2] == q[1]);
+    double p[3];
+    for (double& v : p) v = (rng.uniform() - 0.5) * 2.0 * M_PI;
+    if (arity == 1) {
+      qc.append(make_gate1(kind, q[0], p[0], p[1], p[2]));
+    } else if (arity == 2) {
+      qc.append(make_gate2(kind, q[0], q[1], p[0]));
+    } else {
+      qc.append(make_gate3(kind, q[0], q[1], q[2], p[0]));
+    }
+  }
+  return qc;
+}
+
+/// Run both kernel tables through `body` (restores auto-detection after).
+template <typename Body>
+void for_each_simd_mode(const Body& body) {
+  for (SimdMode mode : {SimdMode::kScalar, SimdMode::kAuto}) {
+    set_simd_mode(mode);
+    body(simd_mode_name());
+  }
+  set_simd_mode(SimdMode::kAuto);
+}
+
+TEST(SimdDispatch, ResolvesToConcreteMode) {
+  set_simd_mode(SimdMode::kScalar);
+  EXPECT_EQ(simd_mode(), SimdMode::kScalar);
+  EXPECT_STREQ(simd_mode_name(), "scalar");
+  set_simd_mode(SimdMode::kAuto);
+  EXPECT_NE(simd_mode(), SimdMode::kAuto);  // always resolved
+}
+
+TEST(BatchedStateVector, LaneRoundTripAndInitialState) {
+  Pcg64 rng(20260805, 10);
+  BatchedStateVector bsv(4, 3);
+  // Default lanes are |0...0>.
+  const auto zero = bsv.lane_state(1).amplitudes();
+  EXPECT_NEAR(std::abs(zero[0] - cplx{1.0, 0.0}), 0.0, kTol);
+
+  std::vector<StateVector> states;
+  for (int l = 0; l < 3; ++l) {
+    states.push_back(StateVector::from_amplitudes(random_state(4, rng)));
+    bsv.set_lane(l, states.back());
+  }
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_LT(state_distance(bsv.lane_state(l).amplitudes(),
+                             states[static_cast<std::size_t>(l)].amplitudes()),
+              kTol);
+    EXPECT_NEAR(bsv.lane_norm(l), 1.0, 1e-12);
+  }
+}
+
+TEST(BatchedStateVector, PerLanePauliTouchesOnlyItsLane) {
+  Pcg64 rng(20260805, 11);
+  const int n = 3, L = 4;
+  std::vector<StateVector> states;
+  BatchedStateVector bsv(n, L);
+  for (int l = 0; l < L; ++l) {
+    states.push_back(StateVector::from_amplitudes(random_state(n, rng)));
+    bsv.set_lane(l, states.back());
+  }
+  bsv.apply_pauli(2, Pauli::kY, 1);
+  states[2].apply_pauli(Pauli::kY, 1);
+  for (int l = 0; l < L; ++l)
+    EXPECT_LT(state_distance(bsv.lane_state(l).amplitudes(),
+                             states[static_cast<std::size_t>(l)].amplitudes()),
+              kTol)
+        << "lane " << l;
+}
+
+TEST(BatchedStateVector, AllLaneMarginalsBitwiseMatchPerLane) {
+  Pcg64 rng(20260805, 17);
+  const int n = 5, lanes = 6;
+  BatchedStateVector bsv(n, lanes);
+  for (int l = 0; l < lanes; ++l)
+    bsv.set_lane(l, StateVector::from_amplitudes(random_state(n, rng)));
+  // Contiguous, scattered, and single-qubit subsets: both key paths.
+  const std::vector<std::vector<int>> qubit_sets = {{1, 2, 3}, {0, 2, 4}, {4}};
+  for (const auto& qs : qubit_sets) {
+    const auto all = bsv.all_lane_marginal_probabilities(qs);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(lanes));
+    for (int l = 0; l < lanes; ++l) {
+      const auto ref = bsv.lane_marginal_probabilities(l, qs);
+      ASSERT_EQ(all[static_cast<std::size_t>(l)].size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(all[static_cast<std::size_t>(l)][i], ref[i])
+            << "lane " << l << " bin " << i;
+    }
+  }
+}
+
+TEST(BatchedStateVector, AssignPermutedCopiesMappedLanes) {
+  Pcg64 rng(20260805, 18);
+  const int n = 4;
+  BatchedStateVector src(n, 3);
+  for (int l = 0; l < 3; ++l)
+    src.set_lane(l, StateVector::from_amplitudes(random_state(n, rng)));
+  src.apply_lane_global_phase(1, 0.7);  // pending phase must follow its lane
+  BatchedStateVector dst(1, 1);  // wrong shape on purpose: assign resizes
+  const std::vector<int> map = {1, 1, 2, 0, 1};
+  dst.assign_permuted(src, map);
+  ASSERT_EQ(dst.lanes(), 5);
+  ASSERT_EQ(dst.num_qubits(), n);
+  for (std::size_t j = 0; j < map.size(); ++j)
+    EXPECT_LT(state_distance(dst.lane_state(static_cast<int>(j)).amplitudes(),
+                             src.lane_state(map[j]).amplitudes()),
+              kTol)
+        << "dst lane " << j;
+}
+
+TEST(BatchedEngine, MatchesScalarOnRandomCircuits) {
+  // All op kinds, several lane counts (including non-power-of-two "ragged"
+  // widths), both kernel tables.
+  for_each_simd_mode([](const char* mode) {
+    Pcg64 rng(20260805, 12);
+    for (int lanes : {1, 3, 4, 8}) {
+      for (int trial = 0; trial < 10; ++trial) {
+        const int n = 3 + static_cast<int>(rng.uniform_int(3));  // 3..5
+        const QuantumCircuit qc = random_circuit(n, 40, rng);
+        const FusedPlan plan(qc);
+
+        BatchedStateVector bsv(n, lanes);
+        std::vector<StateVector> refs;
+        for (int l = 0; l < lanes; ++l) {
+          const auto init = random_state(n, rng);
+          bsv.set_lane(l, StateVector::from_amplitudes(init));
+          refs.push_back(StateVector::from_amplitudes(init));
+          plan.apply(refs.back());
+        }
+        apply_plan(plan, bsv);
+        for (int l = 0; l < lanes; ++l)
+          EXPECT_LT(
+              state_distance(bsv.lane_state(l).amplitudes(),
+                             refs[static_cast<std::size_t>(l)].amplitudes()),
+              kTol)
+              << mode << " lanes=" << lanes << " trial=" << trial
+              << " lane=" << l;
+      }
+    }
+  });
+}
+
+TEST(BatchedEngine, MatchesScalarWithSmallTiles) {
+  // tile_bits below the qubit count exercises the batched multi-tile path
+  // (whose effective tile also shrinks by log2(lanes)).
+  for_each_simd_mode([](const char* mode) {
+    Pcg64 rng(20260805, 13);
+    FusionOptions options;
+    options.tile_bits = 3;
+    for (int trial = 0; trial < 5; ++trial) {
+      const QuantumCircuit qc = random_circuit(6, 60, rng);
+      const FusedPlan plan(qc, options);
+      const int lanes = 5;
+      BatchedStateVector bsv(6, lanes);
+      std::vector<StateVector> refs;
+      for (int l = 0; l < lanes; ++l) {
+        const auto init = random_state(6, rng);
+        bsv.set_lane(l, StateVector::from_amplitudes(init));
+        refs.push_back(StateVector::from_amplitudes(init));
+        plan.apply(refs.back());
+      }
+      apply_plan(plan, bsv);
+      for (int l = 0; l < lanes; ++l)
+        EXPECT_LT(state_distance(bsv.lane_state(l).amplitudes(),
+                                 refs[static_cast<std::size_t>(l)].amplitudes()),
+                  kTol)
+            << mode << " trial=" << trial << " lane=" << l;
+    }
+  });
+}
+
+TEST(BatchedEngine, PerLaneInjectionAtEveryGateIndex) {
+  // The divergence protocol: shared segments batched, per-lane Paulis at
+  // the split, batched execution resumes — checked at every gate index,
+  // with each lane getting a different Pauli on a different qubit.
+  Pcg64 rng(20260805, 14);
+  const int n = 4, lanes = 4;
+  const QuantumCircuit qc = random_circuit(n, 30, rng);
+  const std::size_t total = qc.gates().size();
+  const FusedPlan plan(qc);
+  std::vector<std::vector<cplx>> inits;
+  for (int l = 0; l < lanes; ++l) inits.push_back(random_state(n, rng));
+
+  for (std::size_t s = 0; s <= total; ++s) {
+    Pauli p[lanes];
+    int q[lanes];
+    for (int l = 0; l < lanes; ++l) {
+      p[l] = static_cast<Pauli>(1 + rng.uniform_int(3));
+      q[l] = static_cast<int>(rng.uniform_int(n));
+    }
+
+    BatchedStateVector bsv(n, lanes);
+    for (int l = 0; l < lanes; ++l)
+      bsv.set_lane(l, StateVector::from_amplitudes(inits[l]));
+    apply_plan_range(plan, bsv, 0, s);
+    for (int l = 0; l < lanes; ++l) bsv.apply_pauli(l, p[l], q[l]);
+    apply_plan_range(plan, bsv, s, total);
+
+    for (int l = 0; l < lanes; ++l) {
+      StateVector ref = StateVector::from_amplitudes(inits[l]);
+      plan.apply_range(ref, 0, s);
+      ref.apply_pauli(p[l], q[l]);
+      plan.apply_range(ref, s, total);
+      EXPECT_LT(state_distance(bsv.lane_state(l).amplitudes(),
+                               ref.amplitudes()),
+                kTol)
+          << "split " << s << " lane " << l;
+    }
+  }
+}
+
+TEST(BatchedEngine, SplitsInsideTranspiledQfaOpsMatchScalar) {
+  // Transpiled QFA fuses long diagonal gate runs into single ops; a split
+  // inside one now executes through a cached subrange plan
+  // (FusedPlan::subrange_plan) instead of gate-at-a-time. Pin the batched
+  // split execution against the scalar apply_range at strided split points.
+  for_each_simd_mode([](const char* mode) {
+    CircuitSpec spec;
+    spec.op = Operation::kAdd;
+    spec.n = 3;
+    const QuantumCircuit qc = build_transpiled_circuit(spec);
+    const FusedPlan plan(qc);
+    const std::size_t total = qc.gates().size();
+    Pcg64 rng(20260805, 19);
+    const auto init = random_state(qc.num_qubits(), rng);
+    StateVector ref = StateVector::from_amplitudes(init);
+    plan.apply_range(ref, 0, total);
+    for (std::size_t s = 0; s <= total; s += 3) {
+      BatchedStateVector bsv(qc.num_qubits(), 2);
+      for (int l = 0; l < 2; ++l)
+        bsv.set_lane(l, StateVector::from_amplitudes(init));
+      apply_plan_range(plan, bsv, 0, s);
+      apply_plan_range(plan, bsv, s, total);
+      for (int l = 0; l < 2; ++l)
+        EXPECT_LT(state_distance(bsv.lane_state(l).amplitudes(),
+                                 ref.amplitudes()),
+                  kTol)
+            << mode << " split " << s << " lane " << l;
+    }
+  });
+}
+
+TEST(BatchedTrajectories, MatchScalarRunTrajectory) {
+  // Hand-crafted per-lane event lists (0-3 events each, arity-respecting
+  // Paulis) through run_trajectories_batched vs the scalar run_trajectory.
+  Pcg64 rng(20260805, 15);
+  const int n = 4, lanes = 5;
+  const QuantumCircuit qc = random_circuit(n, 40, rng);
+  const std::size_t total = qc.gates().size();
+  const FusedPlan* raw_plan = nullptr;
+  const StateVector init = StateVector::from_amplitudes(random_state(n, rng));
+  const CleanRun clean(qc, init, 8);
+  raw_plan = &clean.plan();
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<ErrorEvent>> lane_events(lanes);
+    std::size_t min_site = total;
+    for (int l = 0; l < lanes; ++l) {
+      const int n_events = static_cast<int>(rng.uniform_int(4));  // 0..3
+      std::vector<std::size_t> sites;
+      for (int e = 0; e < n_events; ++e) sites.push_back(rng.uniform_int(total));
+      std::sort(sites.begin(), sites.end());
+      for (std::size_t site : sites) {
+        ErrorEvent ev;
+        ev.gate_index = site;
+        ev.pauli0 = static_cast<Pauli>(1 + rng.uniform_int(3));
+        if (qc.gates()[site].arity() >= 2 && rng.bernoulli(0.5))
+          ev.pauli1 = static_cast<Pauli>(1 + rng.uniform_int(3));
+        lane_events[static_cast<std::size_t>(l)].push_back(ev);
+      }
+      if (!sites.empty()) min_site = std::min(min_site, sites.front() + 1);
+    }
+    const std::size_t g0 = min_site == total ? 0 : min_site;
+
+    BatchedStateVector bsv(n, lanes);
+    bsv.broadcast(clean.state_at(g0));
+    run_trajectories_batched(*raw_plan, bsv, g0, lane_events);
+
+    for (int l = 0; l < lanes; ++l) {
+      const StateVector ref =
+          run_trajectory(clean, lane_events[static_cast<std::size_t>(l)]);
+      EXPECT_LT(state_distance(bsv.lane_state(l).amplitudes(),
+                               ref.amplitudes()),
+                kTol)
+          << "trial " << trial << " lane " << l;
+    }
+  }
+}
+
+TEST(BatchedCleanRunTest, LaneQueriesMatchScalarCleanRuns) {
+  // A batched group of clean runs must agree lane-for-lane with
+  // independently computed scalar CleanRuns, at every checkpoint boundary
+  // and in between.
+  Pcg64 rng(20260805, 16);
+  const int n = 4, lanes = 3;
+  const QuantumCircuit qc = random_circuit(n, 50, rng);
+  const auto plan = std::make_shared<const FusedPlan>(qc);
+
+  std::vector<StateVector> initials;
+  std::vector<CleanRun> scalar_runs;
+  for (int l = 0; l < lanes; ++l) {
+    initials.push_back(StateVector::from_amplitudes(random_state(n, rng)));
+    scalar_runs.emplace_back(qc, initials.back(), 16, plan);
+  }
+  const BatchedCleanRun batched(plan, initials, 16);
+  ASSERT_EQ(batched.lanes(), lanes);
+
+  for (int l = 0; l < lanes; ++l) {
+    EXPECT_LT(
+        state_distance(batched.lane_final_state(l).amplitudes(),
+                       scalar_runs[static_cast<std::size_t>(l)].final_state()
+                           .amplitudes()),
+        kTol);
+    for (std::size_t g = 0; g <= qc.gates().size(); g += 7)
+      EXPECT_LT(state_distance(
+                    batched.lane_state_at(l, g).amplitudes(),
+                    scalar_runs[static_cast<std::size_t>(l)].state_at(g)
+                        .amplitudes()),
+                kTol)
+          << "lane " << l << " g " << g;
+  }
+
+  // states_at / load_states_at: batched resume states match the scalar
+  // replays lane-for-lane, including permuted-with-repeats lane maps
+  // loaded into reused storage.
+  BatchedStateVector reuse(n, 1);
+  const std::vector<int> map = {2, 0, 0, 1};
+  for (std::size_t g = 0; g <= qc.gates().size(); g += 11) {
+    const BatchedStateVector at = batched.states_at(g);
+    for (int l = 0; l < lanes; ++l)
+      EXPECT_LT(state_distance(
+                    at.lane_state(l).amplitudes(),
+                    scalar_runs[static_cast<std::size_t>(l)].state_at(g)
+                        .amplitudes()),
+                kTol)
+          << "states_at lane " << l << " g " << g;
+    batched.load_states_at(g, map, reuse);
+    ASSERT_EQ(reuse.lanes(), static_cast<int>(map.size()));
+    for (std::size_t j = 0; j < map.size(); ++j)
+      EXPECT_LT(
+          state_distance(reuse.lane_state(static_cast<int>(j)).amplitudes(),
+                         scalar_runs[static_cast<std::size_t>(map[j])]
+                             .state_at(g)
+                             .amplitudes()),
+          kTol)
+          << "load_states_at lane " << j << " g " << g;
+  }
+}
+
+TEST(BatchedEstimator, MatchesScalarEstimatorAndIsPackingIndependent) {
+  CircuitSpec spec;
+  spec.op = Operation::kAdd;
+  spec.n = 3;
+  const QuantumCircuit qc = build_transpiled_circuit(spec);
+  Pcg64 inst_rng(5, 1);
+  const ArithInstance inst =
+      generate_instances(1, 3, 3, OperandOrders{}, inst_rng)[0];
+  const CleanRun clean(qc, make_initial_state(spec, inst), 32);
+  const ErrorLocations errors(qc, NoiseModel{.p1q = 0.002, .p2q = 0.004});
+  const std::vector<int> out_q = output_qubits(spec);
+  EstimatorOptions est;
+  est.error_trajectories = 10;
+
+  Pcg64 rng_scalar(77, 3);
+  const auto scalar = estimate_channel_marginal(clean, errors, out_q, est,
+                                                rng_scalar);
+  for (int max_lanes : {1, 4, 8}) {
+    Pcg64 rng_batched(77, 3);
+    const auto batched = estimate_channel_marginal_batched(
+        clean, errors, out_q, est, max_lanes, rng_batched);
+    ASSERT_EQ(batched.size(), scalar.size());
+    // Same pre-sampled trajectories, same accumulation order: agreement to
+    // simulation rounding regardless of how lanes were packed.
+    for (std::size_t i = 0; i < scalar.size(); ++i)
+      EXPECT_NEAR(batched[i], scalar[i], 1e-9) << "max_lanes=" << max_lanes;
+    // And the consumed rng stream is identical to the scalar estimator's.
+    Pcg64 rng_ref(77, 3);
+    (void)estimate_channel_marginal(clean, errors, out_q, est, rng_ref);
+    EXPECT_EQ(rng_batched(), rng_ref());
+  }
+}
+
+TEST(BatchedEstimator, MultiMemberMatchesPerMemberEstimates) {
+  // estimate_channel_marginals_batched pools all members' trajectories
+  // into cross-member groups; each member's estimate must still match the
+  // per-member batched estimator (same event samples, same accumulation
+  // order) to simulation rounding, and consume the same rng stream.
+  CircuitSpec spec;
+  spec.op = Operation::kAdd;
+  spec.n = 3;
+  const QuantumCircuit qc = build_transpiled_circuit(spec);
+  const auto plan = std::make_shared<const FusedPlan>(qc);
+  Pcg64 inst_rng(6, 2);
+  const auto insts = generate_instances(3, 3, 3, OperandOrders{}, inst_rng);
+  std::vector<StateVector> initials;
+  for (const ArithInstance& inst : insts)
+    initials.push_back(make_initial_state(spec, inst));
+  const BatchedCleanRun clean(plan, initials, 32);
+  const ErrorLocations errors(qc, NoiseModel{.p1q = 0.002, .p2q = 0.004});
+  const std::vector<int> out_q = output_qubits(spec);
+  EstimatorOptions est;
+  est.error_trajectories = 10;
+
+  std::vector<Pcg64> rngs;
+  for (std::size_t m = 0; m < insts.size(); ++m)
+    rngs.push_back(Pcg64(88, 4).split(m));
+  const auto all =
+      estimate_channel_marginals_batched(clean, errors, out_q, est, rngs);
+  ASSERT_EQ(all.size(), insts.size());
+  for (std::size_t m = 0; m < insts.size(); ++m) {
+    Pcg64 rng_ref = Pcg64(88, 4).split(m);
+    const auto ref = estimate_channel_marginal_batched(
+        clean, static_cast<int>(m), errors, out_q, est, 8, rng_ref);
+    ASSERT_EQ(all[m].size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_NEAR(all[m][i], ref[i], 1e-9) << "member " << m << " bin " << i;
+    EXPECT_EQ(rngs[m](), rng_ref()) << "member " << m;
+  }
+}
+
+TEST(CdfSampler, MatchesLinearScanSemantics) {
+  // Deterministic draw positions: with a known uniform stream the sampler
+  // must land on the first index whose running sum exceeds u.
+  const std::vector<double> probs = {0.0, 0.25, 0.0, 0.5, 0.25};
+  CdfSampler sampler(probs);
+  EXPECT_EQ(sampler.size(), probs.size());
+  Pcg64 rng(123, 9);
+  std::vector<int> counts(probs.size(), 0);
+  for (int i = 0; i < 20000; ++i) ++counts[sampler.draw(rng)];
+  EXPECT_EQ(counts[0], 0);  // zero-probability bins never drawn
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1], 5000, 400);
+  EXPECT_NEAR(counts[3], 10000, 500);
+  EXPECT_NEAR(counts[4], 5000, 400);
+}
+
+}  // namespace
+}  // namespace qfab

@@ -245,6 +245,45 @@ TEST(Parallel, ChunkedOffsetRangeAndEmpty) {
   EXPECT_FALSE(called);
 }
 
+TEST(Parallel, GrainFloorCoversChunkBoundaries) {
+  // Every (n, chunk, min_grain) combination — ragged tails, grain larger
+  // than chunk, grain larger than the whole range — must cover each index
+  // exactly once with ordered, in-range chunk boundaries.
+  for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{64},
+                        std::size_t{1000}}) {
+    for (std::size_t chunk : {std::size_t{0}, std::size_t{1}, std::size_t{7}})
+      for (std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{4},
+                                std::size_t{16}, std::size_t{5000}}) {
+        std::vector<std::atomic<int>> hits(n);
+        parallel_for_chunked(
+            0, n,
+            [&](std::size_t lo, std::size_t hi) {
+              EXPECT_LT(lo, hi);
+              EXPECT_LE(hi, n);
+              for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+            },
+            chunk, grain);
+        for (auto& h : hits)
+          EXPECT_EQ(h.load(), 1) << "n=" << n << " chunk=" << chunk
+                                 << " grain=" << grain;
+      }
+  }
+}
+
+TEST(Parallel, TinyRangeUnderGrainRunsAsOneChunk) {
+  // n <= min_grain must be a single serial body(begin, end) call.
+  int calls = 0;
+  parallel_for_chunked(
+      10, 14,
+      [&](std::size_t lo, std::size_t hi) {
+        ++calls;
+        EXPECT_EQ(lo, 10u);
+        EXPECT_EQ(hi, 14u);
+      },
+      0, 8);
+  EXPECT_EQ(calls, 1);
+}
+
 // ---------- cli ----------
 
 TEST(Cli, ParsesAllForms) {
