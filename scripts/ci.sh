@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full CI pass: tier-1 tests + differential verification smoke, first in a
+# plain release build, then under the two sanitizer presets
+# (QFAB_SANITIZE=address -> ASan+UBSan, QFAB_SANITIZE=thread -> TSan).
+# Sanitizer presets pin QFAB_SIMD=scalar: the portable kernel table is what
+# the instrumented build can actually check, and results must not depend on
+# the host's vector units.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local name="$1"
+  shift
+  local builddir="build-ci-${name}"
+  echo "== ${name}: configure =="
+  cmake -B "${builddir}" -S . "$@" >/dev/null
+  echo "== ${name}: build =="
+  cmake --build "${builddir}" -j "$(nproc)" >/dev/null
+  echo "== ${name}: tier-1 tests =="
+  (cd "${builddir}" && ctest --output-on-failure -j "$(nproc)")
+  echo "== ${name}: verify smoke (ctest -L verify) =="
+  (cd "${builddir}" && ctest -L verify --output-on-failure)
+}
+
+run_preset plain
+QFAB_SIMD=scalar run_preset asan -DQFAB_SANITIZE=address
+QFAB_SIMD=scalar run_preset tsan -DQFAB_SANITIZE=thread
+
+echo "CI: all presets green"

@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -12,6 +13,26 @@ namespace {
 
 bool starts_with(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
+}
+
+/// strtol with full validation: empty strings, trailing garbage, and
+/// out-of-range values (ERANGE clamps silently otherwise) all fail.
+bool parse_long(const std::string& s, long& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtol(s.c_str(), &end, 10);
+  return end != s.c_str() && *end == '\0' && errno != ERANGE;
+}
+
+/// strtod with the same validation (overflow to ±HUGE_VAL and underflow
+/// both set ERANGE and are rejected rather than clamped).
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0' && errno != ERANGE;
 }
 
 }  // namespace
@@ -57,20 +78,20 @@ std::string CliFlags::get_string(const std::string& name,
 long CliFlags::get_int(const std::string& name, long def) const {
   const auto v = raw(name);
   if (!v) return def;
-  char* end = nullptr;
-  const long out = std::strtol(v->c_str(), &end, 10);
-  QFAB_CHECK_MSG(end && *end == '\0', "--" << name << " expects an integer, got "
-                                           << *v);
+  long out = 0;
+  QFAB_CHECK_MSG(parse_long(*v, out),
+                 "--" << name << " expects an in-range integer, got \"" << *v
+                      << '"');
   return out;
 }
 
 double CliFlags::get_double(const std::string& name, double def) const {
   const auto v = raw(name);
   if (!v) return def;
-  char* end = nullptr;
-  const double out = std::strtod(v->c_str(), &end);
-  QFAB_CHECK_MSG(end && *end == '\0', "--" << name << " expects a number, got "
-                                           << *v);
+  double out = 0.0;
+  QFAB_CHECK_MSG(parse_double(*v, out),
+                 "--" << name << " expects an in-range number, got \"" << *v
+                      << '"');
   return out;
 }
 
@@ -87,14 +108,16 @@ std::vector<double> CliFlags::get_double_list(const std::string& name,
                                               std::vector<double> def) const {
   const auto v = raw(name);
   if (!v) return def;
+  QFAB_CHECK_MSG(!v->empty(), "--" << name << " expects a list, got an empty"
+                                   << " value (omit the flag for the default)");
   std::vector<double> out;
   std::istringstream is(*v);
   std::string item;
   while (std::getline(is, item, ',')) {
-    char* end = nullptr;
-    out.push_back(std::strtod(item.c_str(), &end));
-    QFAB_CHECK_MSG(end && *end == '\0',
-                   "--" << name << ": bad list element " << item);
+    double value = 0.0;
+    QFAB_CHECK_MSG(parse_double(item, value),
+                   "--" << name << ": bad list element \"" << item << '"');
+    out.push_back(value);
   }
   return out;
 }
@@ -103,14 +126,16 @@ std::vector<long> CliFlags::get_int_list(const std::string& name,
                                          std::vector<long> def) const {
   const auto v = raw(name);
   if (!v) return def;
+  QFAB_CHECK_MSG(!v->empty(), "--" << name << " expects a list, got an empty"
+                                   << " value (omit the flag for the default)");
   std::vector<long> out;
   std::istringstream is(*v);
   std::string item;
   while (std::getline(is, item, ',')) {
-    char* end = nullptr;
-    out.push_back(std::strtol(item.c_str(), &end, 10));
-    QFAB_CHECK_MSG(end && *end == '\0',
-                   "--" << name << ": bad list element " << item);
+    long value = 0;
+    QFAB_CHECK_MSG(parse_long(item, value),
+                   "--" << name << ": bad list element \"" << item << '"');
+    out.push_back(value);
   }
   return out;
 }

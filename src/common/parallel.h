@@ -1,9 +1,19 @@
 // Minimal work-sharing layer.
 //
 // Experiment sweeps are embarrassingly parallel over operand instances, so a
-// static-chunked parallel_for over a shared thread pool is all we need. On a
+// chunked parallel_for over a shared thread pool is all we need. On a
 // single-core host (the common CI case for this repo) everything degenerates
 // to a plain serial loop with no thread creation.
+//
+// Completion is tracked *per parallel_for_chunked call*, not pool-wide: the
+// calling thread claims chunks from its own call's cursor alongside the
+// workers and then waits only for that call's outstanding jobs — helping
+// drain the global queue while it waits. This makes nested parallel_for
+// calls (a body that itself parallelizes) and concurrent top-level calls
+// from independent threads safe: neither can block on the other's work.
+// An exception thrown by a body cancels that call's remaining chunks and is
+// rethrown on the calling thread once the call's jobs have drained; the
+// pool itself stays reusable.
 #pragma once
 
 #include <condition_variable>
@@ -19,7 +29,8 @@ namespace qfab {
 /// Fixed-size pool of worker threads executing submitted jobs FIFO.
 class ThreadPool {
  public:
-  /// `threads == 0` selects std::thread::hardware_concurrency().
+  /// `threads == 0` selects the QFAB_THREADS environment override when set,
+  /// else std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -28,11 +39,16 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a job. Jobs must not throw; exceptions terminate.
+  /// Enqueue a job. Raw jobs must not throw (exceptions terminate);
+  /// parallel_for_chunked wraps its bodies so their exceptions are
+  /// captured and rethrown on the calling thread instead.
   void submit(std::function<void()> job);
 
-  /// Block until all submitted jobs have completed.
-  void wait_idle();
+  /// Pop one queued job (any job, not necessarily the caller's) and run it
+  /// on the calling thread. Returns false when the queue was empty. Used by
+  /// waiting parallel_for_chunked callers so a nested call can never
+  /// deadlock on jobs only it could execute.
+  bool try_run_one();
 
   /// Process-wide shared pool (lazily constructed).
   static ThreadPool& shared();
@@ -44,21 +60,25 @@ class ThreadPool {
   std::queue<std::function<void()>> jobs_;
   std::mutex mu_;
   std::condition_variable cv_job_;
-  std::condition_variable cv_idle_;
-  std::size_t active_ = 0;
   bool stop_ = false;
 };
 
 /// Run body(i) for i in [begin, end). Uses the shared pool when it has more
 /// than one worker and the range is non-trivial; otherwise runs serially.
-/// body must be safe to invoke concurrently for distinct i.
+/// body must be safe to invoke concurrently for distinct i. If body throws,
+/// the first exception is rethrown on the calling thread after the call's
+/// outstanding work has drained; remaining chunks are cancelled (each index
+/// is then visited at most once, not exactly once).
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);
 
 /// Chunked variant: body(lo, hi) receives half-open sub-ranges of
 /// [begin, end), so the std::function dispatch happens once per chunk
 /// instead of once per index. Chunks are claimed dynamically (work
-/// stealing via a shared cursor) to tolerate uneven per-index cost.
+/// stealing via a per-call shared cursor) to tolerate uneven per-index
+/// cost; the calling thread participates in draining its own cursor, so
+/// the call completes even when every pool worker is busy elsewhere —
+/// including when the caller *is* a pool worker (nested parallelism).
 /// `chunk == 0` picks a size that gives each worker several chunks.
 /// `min_grain` is the grain-size floor: chunks never shrink below it, and
 /// a range of at most min_grain indices runs serially in the caller — tiny

@@ -11,6 +11,22 @@
 
 namespace qfab {
 
+namespace detail {
+
+namespace {
+std::atomic<bool> g_batch_fault{false};
+}  // namespace
+
+void set_batch_fault_injection(bool on) {
+  g_batch_fault.store(on, std::memory_order_relaxed);
+}
+
+bool batch_fault_injection() {
+  return g_batch_fault.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
 namespace {
 
 cplx expi(double t) { return {std::cos(t), std::sin(t)}; }
@@ -386,6 +402,12 @@ void apply_chunk(const BatchKernelTable& K, const FusedPlan& plan, double* re,
                  double* im, u64 len, u64 L, const FusedOp& op) {
   switch (op.kind) {
     case FusedOp::Kind::kMatrix1:
+      if (detail::batch_fault_injection()) {
+        // Emulated kernel regression (see batch.h): one flipped sign.
+        const cplx m[4] = {op.m[0], op.m[1], op.m[2], -op.m[3]};
+        K.matrix1(re, im, len, L, op.q0, m);
+        return;
+      }
       K.matrix1(re, im, len, L, op.q0, op.m.data());
       return;
     case FusedOp::Kind::kMatrix2:

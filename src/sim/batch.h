@@ -57,6 +57,16 @@ void set_simd_mode(SimdMode mode);
 /// "avx2" or "scalar" for the resolved mode.
 const char* simd_mode_name();
 
+namespace detail {
+/// Fault-injection hook for the differential verifier's self-test ONLY
+/// (tools/qfab_verify --inject-kernel-bug): when enabled, the batched
+/// kMatrix1 dispatch flips the sign of one matrix entry, emulating a
+/// batched-kernel regression that the verify harness must catch and shrink
+/// to a repro. Never enable outside tests.
+void set_batch_fault_injection(bool on);
+bool batch_fault_injection();
+}  // namespace detail
+
 /// B state vectors advanced in lockstep through shared plan segments.
 class BatchedStateVector {
  public:

@@ -1,0 +1,55 @@
+#include "sim/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace qfab {
+
+std::string check_probability_simplex(const std::vector<double>& probs,
+                                      double tol) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double p = probs[i];
+    if (!std::isfinite(p) || p < -tol || p > 1.0 + tol) {
+      std::ostringstream os;
+      os << "probability[" << i << "] = " << p << " outside [0, 1] (tol "
+         << tol << ")";
+      return os.str();
+    }
+    sum += p;
+  }
+  if (std::abs(sum - 1.0) > tol) {
+    std::ostringstream os;
+    os << "probabilities sum to " << sum << " (|sum - 1| > " << tol << ")";
+    return os.str();
+  }
+  return {};
+}
+
+std::string check_norm(const StateVector& sv, double tol) {
+  const double norm = sv.norm();
+  if (std::abs(norm - 1.0) <= tol) return {};
+  std::ostringstream os;
+  os << "state norm " << norm << " drifted from 1 by " << std::abs(norm - 1.0)
+     << " (tol " << tol << ")";
+  return os.str();
+}
+
+std::string check_lane_norms(const BatchedStateVector& bsv, double tol) {
+  double worst = 0.0;
+  int worst_lane = -1;
+  for (int l = 0; l < bsv.lanes(); ++l) {
+    const double drift = std::abs(bsv.lane_norm(l) - 1.0);
+    if (drift > worst) {
+      worst = drift;
+      worst_lane = l;
+    }
+  }
+  if (worst <= tol) return {};
+  std::ostringstream os;
+  os << "lane " << worst_lane << " norm drifted from 1 by " << worst
+     << " (tol " << tol << ")";
+  return os.str();
+}
+
+}  // namespace qfab

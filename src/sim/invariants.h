@@ -1,0 +1,33 @@
+// Numerical invariant checks shared by the tests and the differential
+// verification harness (src/verify).
+//
+// Every engine in the repo advances a normalized state through unitary (or
+// trace-preserving) segments, so these properties must hold after *every*
+// executed segment, not just at the end: a kernel that corrupts the norm
+// mid-circuit can still produce a plausible-looking final distribution.
+// The checks return a human-readable violation description instead of
+// throwing so the verifier can fold them into its failure report (and the
+// shrinker can re-evaluate them thousands of times cheaply).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/batch.h"
+#include "sim/statevector.h"
+
+namespace qfab {
+
+/// "" when `probs` lies on the probability simplex to tolerance `tol`
+/// (every entry within [-tol, 1 + tol], sum within tol of 1); otherwise a
+/// description of the first violation.
+std::string check_probability_simplex(const std::vector<double>& probs,
+                                      double tol);
+
+/// Norm preservation: "" when | ||psi|| - 1 | <= tol.
+std::string check_norm(const StateVector& sv, double tol);
+
+/// Per-lane norm preservation of a batched state; reports the worst lane.
+std::string check_lane_norms(const BatchedStateVector& bsv, double tol);
+
+}  // namespace qfab

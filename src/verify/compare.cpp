@@ -1,0 +1,45 @@
+#include "verify/compare.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace qfab::verify {
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  if (a.size() != b.size()) return std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return 0.5 * sum;
+}
+
+std::string compare_engine_results(const std::vector<EngineResult>& results,
+                                   double tol) {
+  for (const EngineResult& r : results)
+    if (!r.violation.empty()) return r.name + ": " + r.violation;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    for (std::size_t j = i + 1; j < results.size(); ++j) {
+      const double dp =
+          max_abs_diff(results[i].probabilities, results[j].probabilities);
+      const double dm = max_abs_diff(results[i].marginal, results[j].marginal);
+      if (dp > tol || dm > tol) {
+        std::ostringstream os;
+        os << results[i].name << " vs " << results[j].name
+           << ": max |dp| = " << std::max(dp, dm) << " (tol " << tol << ")";
+        return os.str();
+      }
+    }
+  return {};
+}
+
+}  // namespace qfab::verify

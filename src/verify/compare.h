@@ -1,0 +1,25 @@
+// Distribution comparators for the differential verifier.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/engines.h"
+
+namespace qfab::verify {
+
+/// max_i |a[i] - b[i]|; infinity when sizes differ.
+double max_abs_diff(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Total variation distance (1/2) * sum_i |a[i] - b[i]|.
+double total_variation(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Pairwise agreement over the engine matrix: every pair of results must
+/// match on the full distribution and on the subset marginal to `tol`, and
+/// no result may carry an invariant violation. Returns "" or the first
+/// failure, named by the engine pair.
+std::string compare_engine_results(const std::vector<EngineResult>& results,
+                                   double tol);
+
+}  // namespace qfab::verify

@@ -1,0 +1,233 @@
+#include "verify/engines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "noise/densitymatrix.h"
+#include "noise/estimator.h"
+#include "sim/batch.h"
+#include "sim/fusion.h"
+#include "sim/invariants.h"
+#include "transpile/transpile.h"
+#include "verify/compare.h"
+
+namespace qfab::verify {
+
+namespace {
+
+std::vector<int> all_qubits(int n) {
+  std::vector<int> q(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) q[static_cast<std::size_t>(i)] = i;
+  return q;
+}
+
+EngineResult finish_pure(std::string name, const StateVector& sv,
+                         const std::vector<int>& marg, double tol,
+                         std::string violation) {
+  EngineResult r;
+  r.name = std::move(name);
+  r.probabilities = sv.probabilities();
+  r.marginal = sv.marginal_probabilities(marg);
+  r.violation = std::move(violation);
+  if (r.violation.empty()) r.violation = check_norm(sv, tol);
+  if (r.violation.empty())
+    r.violation = check_probability_simplex(r.probabilities, tol);
+  if (r.violation.empty())
+    r.violation = check_probability_simplex(r.marginal, tol);
+  return r;
+}
+
+}  // namespace
+
+std::vector<int> marginal_qubits(int num_qubits) {
+  std::vector<int> q;
+  for (int i = 0; i < num_qubits; i += 2) q.push_back(i);
+  return q;
+}
+
+std::vector<EngineResult> run_exact_engines(const VerifyCase& c,
+                                            const EngineOptions& opt) {
+  const QuantumCircuit& qc = c.circuit;
+  const int n = qc.num_qubits();
+  const std::size_t gates = qc.gates().size();
+  const std::size_t split = std::min(c.split_gate, gates);
+  const std::vector<int> marg = marginal_qubits(n);
+  std::vector<EngineResult> results;
+
+  // Reference: per-gate kernels, norm preserved after every gate.
+  {
+    StateVector sv(n);
+    std::string violation;
+    for (const Gate& g : qc.gates()) {
+      sv.apply_gate(g);
+      violation = check_norm(sv, opt.tol);
+      if (!violation.empty()) break;
+    }
+    results.push_back(
+        finish_pure("statevector", sv, marg, opt.tol, std::move(violation)));
+  }
+
+  // The transpiler must preserve the distribution exactly (it preserves
+  // the unitary, global phase included).
+  {
+    StateVector sv(n);
+    sv.apply_circuit(transpile_to_basis(qc));
+    results.push_back(finish_pure("transpiled", sv, marg, opt.tol, {}));
+  }
+
+  // Fused execution plan, whole circuit.
+  const FusedPlan plan(qc);
+  {
+    StateVector sv(n);
+    plan.apply(sv);
+    results.push_back(finish_pure("fused", sv, marg, opt.tol, {}));
+  }
+
+  // Split execution: first half through apply_range (falls back per-gate
+  // around a mid-op boundary), second half through the lazily compiled
+  // subrange plan — the exact protocol trajectory replay uses.
+  {
+    StateVector sv(n);
+    plan.apply_range(sv, 0, split);
+    std::string violation = check_norm(sv, opt.tol);
+    const FusedPlan& tail = plan.subrange_plan(split, gates);
+    tail.apply_range(sv, 0, tail.gate_count());
+    results.push_back(
+        finish_pure("fused-split", sv, marg, opt.tol, std::move(violation)));
+  }
+
+  // Batched engine at the case's lane count, same split. All lanes start
+  // |0...0>, so they must stay identical; one lane takes an X·X identity
+  // probe mid-circuit to exercise per-lane divergence bookkeeping.
+  {
+    BatchedStateVector bsv(n, c.lanes);
+    apply_plan_range(plan, bsv, 0, split);
+    std::string violation = check_lane_norms(bsv, opt.tol);
+    const int probe_lane = c.lanes - 1;
+    bsv.apply_pauli(probe_lane, Pauli::kX, 0);
+    bsv.apply_pauli(probe_lane, Pauli::kX, 0);
+    apply_plan_range(plan, bsv, split, gates);
+    if (violation.empty()) violation = check_lane_norms(bsv, opt.tol);
+
+    EngineResult r;
+    r.name = "batched";
+    r.probabilities = bsv.lane_probabilities(0);
+    const auto lane_margs = bsv.all_lane_marginal_probabilities(marg);
+    r.marginal = lane_margs.front();
+    if (violation.empty()) {
+      for (int l = 1; l < c.lanes && violation.empty(); ++l) {
+        const double d =
+            std::max(max_abs_diff(r.probabilities, bsv.lane_probabilities(l)),
+                     max_abs_diff(r.marginal,
+                                  lane_margs[static_cast<std::size_t>(l)]));
+        if (d > opt.tol) {
+          std::ostringstream os;
+          os << "lane " << l << " diverged from lane 0 by " << d
+             << " on identical inputs (tol " << opt.tol << ")";
+          violation = os.str();
+        }
+      }
+    }
+    if (violation.empty())
+      violation = check_probability_simplex(r.probabilities, opt.tol);
+    r.violation = std::move(violation);
+    results.push_back(std::move(r));
+  }
+
+  // Exact density matrix: ρ = |ψ><ψ| evolved as a 2^{2n} buffer; trace and
+  // purity are the segment invariants on this engine.
+  {
+    DensityMatrix dm(n);
+    dm.apply_circuit(qc);
+    EngineResult r;
+    r.name = "density";
+    r.probabilities = dm.probabilities();
+    r.marginal = dm.marginal_probabilities(marg);
+    std::ostringstream os;
+    if (std::abs(dm.trace() - 1.0) > opt.tol) {
+      os << "trace " << dm.trace() << " drifted from 1";
+      r.violation = os.str();
+    } else if (std::abs(dm.purity() - 1.0) > opt.tol) {
+      os << "purity " << dm.purity() << " drifted from 1 on a pure state";
+      r.violation = os.str();
+    } else {
+      r.violation = check_probability_simplex(r.probabilities, opt.tol);
+    }
+    results.push_back(std::move(r));
+  }
+
+  return results;
+}
+
+std::string check_noisy_channel(const VerifyCase& c,
+                                const EngineOptions& opt) {
+  const int n = c.circuit.num_qubits();
+  const QuantumCircuit tqc = transpile_to_basis(c.circuit);
+  const std::size_t tgates = tqc.gates().size();
+  if (tgates == 0) return {};
+
+  // Keep the expected error-event count O(1) so the trajectory average
+  // converges to the exact channel within channel_tol at the configured
+  // trajectory budget (the rate still scales every gate's error).
+  NoiseModel noise;
+  noise.p1q = noise.p2q =
+      std::min(c.depolarizing_p, 2.0 / static_cast<double>(tgates));
+
+  DensityMatrix dm(n);
+  dm.apply_noisy_circuit(tqc, noise);
+  const std::vector<double> exact = dm.probabilities();
+  if (std::abs(dm.trace() - 1.0) > opt.tol)
+    return "noisy density: trace " + std::to_string(dm.trace()) +
+           " drifted from 1";
+  std::string violation = check_probability_simplex(exact, opt.tol);
+  if (!violation.empty()) return "noisy density: " + violation;
+
+  // Scalar vs batched stratified estimators: identical rng streams, so
+  // they must agree to replay rounding — a far tighter differential than
+  // either is to the exact channel.
+  const auto plan = std::make_shared<const FusedPlan>(tqc);
+  const CleanRun clean(tqc, StateVector(n), 64, plan);
+  const ErrorLocations errors(tqc, noise);
+  const std::vector<int> outputs = all_qubits(n);
+  EstimatorOptions eopt;
+  eopt.error_trajectories = opt.error_trajectories;
+  const std::uint64_t stream = 0xd1ffe7e47ULL ^ c.root_seed;
+
+  Pcg64 rng_scalar(stream, c.index);
+  const std::vector<double> est_scalar =
+      estimate_channel_marginal(clean, errors, outputs, eopt, rng_scalar);
+  Pcg64 rng_batched(stream, c.index);
+  const std::vector<double> est_batched = estimate_channel_marginal_batched(
+      clean, errors, outputs, eopt, std::max(2, c.lanes), rng_batched);
+
+  violation = check_probability_simplex(est_scalar, opt.tol);
+  if (!violation.empty()) return "estimator(scalar): " + violation;
+  const double d_est = max_abs_diff(est_scalar, est_batched);
+  if (d_est > opt.tol) {
+    std::ostringstream os;
+    os << "estimator scalar vs batched: max |dp| = " << d_est << " (tol "
+       << opt.tol << ")";
+    return os.str();
+  }
+  const double tv = total_variation(est_scalar, exact);
+  if (tv > opt.channel_tol) {
+    std::ostringstream os;
+    os << "estimator vs exact channel: total variation " << tv << " (tol "
+       << opt.channel_tol << ", " << eopt.error_trajectories
+       << " trajectories)";
+    return os.str();
+  }
+  return {};
+}
+
+std::string check_case(const VerifyCase& c, const EngineOptions& opt) {
+  const std::vector<EngineResult> exact = run_exact_engines(c, opt);
+  std::string failure = compare_engine_results(exact, opt.tol);
+  if (!failure.empty()) return failure;
+  if (opt.check_noisy) return check_noisy_channel(c, opt);
+  return {};
+}
+
+}  // namespace qfab::verify

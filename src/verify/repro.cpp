@@ -1,0 +1,85 @@
+#include "verify/repro.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "circuit/qasm.h"
+#include "common/check.h"
+#include "sim/batch.h"
+
+namespace qfab::verify {
+
+namespace {
+
+constexpr const char* kMagic = "// qfab_verify repro";
+
+}  // namespace
+
+std::string write_repro(const std::string& dir, const VerifyCase& c,
+                        const std::string& failure) {
+  std::filesystem::create_directories(dir);
+  std::ostringstream name;
+  name << "seed" << c.root_seed << "_case" << c.index << ".qasm";
+  const std::string path = (std::filesystem::path(dir) / name.str()).string();
+
+  std::ofstream out(path);
+  QFAB_CHECK_MSG(out.good(), "cannot write repro file " << path);
+  out.precision(17);
+  out << kMagic << '\n';
+  out << "// seed=" << c.root_seed << " case=" << c.index << '\n';
+  out << "// lanes=" << c.lanes << " split=" << c.split_gate
+      << " depol=" << c.depolarizing_p << '\n';
+  std::string summary = failure;
+  for (char& ch : summary)
+    if (ch == '\n') ch = ' ';
+  out << "// failure=" << summary << '\n';
+  out << to_qasm(c.circuit);
+  QFAB_CHECK_MSG(out.good(), "short write to repro file " << path);
+  return path;
+}
+
+VerifyCase load_repro(const std::string& path, std::string* failure) {
+  std::ifstream in(path);
+  QFAB_CHECK_MSG(in.good(), "cannot read repro file " << path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  QFAB_CHECK_MSG(text.rfind(kMagic, 0) == 0,
+                 path << " is not a qfab_verify repro (missing \"" << kMagic
+                      << "\" header)");
+
+  VerifyCase c;
+  if (failure) failure->clear();
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("//", 0) != 0) break;  // header comments end at the QASM
+    std::istringstream fields(line.substr(2));
+    std::string field;
+    while (fields >> field) {
+      const auto eq = field.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "seed") c.root_seed = std::stoull(value);
+      else if (key == "case") c.index = std::stoull(value);
+      else if (key == "lanes") c.lanes = std::stoi(value);
+      else if (key == "split") c.split_gate = std::stoull(value);
+      else if (key == "depol") c.depolarizing_p = std::stod(value);
+      else if (key == "failure" && failure) {
+        // The failure summary is free text: everything after "failure=".
+        const auto pos = line.find("failure=");
+        *failure = line.substr(pos + 8);
+        break;
+      }
+    }
+  }
+  c.circuit = from_qasm(text);  // the parser skips // comments
+  QFAB_CHECK_MSG(c.lanes >= 1 && c.lanes <= BatchedStateVector::kMaxLanes,
+                 "repro lane count " << c.lanes << " out of range");
+  c.split_gate = std::min(c.split_gate, c.circuit.gates().size());
+  return c;
+}
+
+}  // namespace qfab::verify

@@ -1,0 +1,26 @@
+// Deterministic failure repros.
+//
+// A failing (minimized) case is dumped as a single OpenQASM 2.0 file with a
+// metadata header in comments: the generator coordinates (root seed + case
+// index), the engine-matrix parameters (lanes, split site, depolarizing
+// rate), and the failure summary. The file reloads byte-for-byte into the
+// same VerifyCase via the circuit/qasm parser, so
+// `tools/qfab_verify --repro <file>` replays exactly what failed.
+#pragma once
+
+#include <string>
+
+#include "verify/generator.h"
+
+namespace qfab::verify {
+
+/// Write `<dir>/seed<seed>_case<index>.qasm` (directories created as
+/// needed) and return the path.
+std::string write_repro(const std::string& dir, const VerifyCase& c,
+                        const std::string& failure);
+
+/// Parse a repro file back into a case; the stored failure summary (if
+/// any) is returned through `failure` when non-null.
+VerifyCase load_repro(const std::string& path, std::string* failure = nullptr);
+
+}  // namespace qfab::verify

@@ -1,0 +1,115 @@
+#include "verify/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace qfab::verify {
+
+namespace {
+
+/// Rebuild a case around a gate subset (order preserved), compacting away
+/// qubits no remaining gate touches and clamping the split site.
+VerifyCase rebuild(const VerifyCase& base, const std::vector<Gate>& gates) {
+  const int n = base.circuit.num_qubits();
+  std::vector<int> remap(static_cast<std::size_t>(n), -1);
+  for (const Gate& g : gates)
+    for (int b = 0; b < g.arity(); ++b)
+      remap[static_cast<std::size_t>(g.qubits[b])] = 0;
+  int next = 0;
+  for (int q = 0; q < n; ++q)
+    if (remap[static_cast<std::size_t>(q)] == 0)
+      remap[static_cast<std::size_t>(q)] = next++;
+  // Engines need a non-degenerate register even if every gate was dropped
+  // from some qubit; keep at least two (CX in any remaining repro).
+  next = std::max(next, 2);
+
+  VerifyCase out = base;
+  out.circuit = QuantumCircuit(next);
+  for (const Gate& g : gates) {
+    Gate h = g;
+    for (int b = 0; b < g.arity(); ++b)
+      h.qubits[static_cast<std::size_t>(b)] =
+          remap[static_cast<std::size_t>(g.qubits[b])];
+    out.circuit.append(h);
+  }
+  out.split_gate = std::min(base.split_gate, gates.size());
+  return out;
+}
+
+}  // namespace
+
+VerifyCase shrink_case(const VerifyCase& failing, const FailureCheck& check,
+                       std::size_t max_checks) {
+  QFAB_CHECK(!check(failing).empty());
+  VerifyCase best = failing;
+  std::size_t budget = max_checks;
+
+  auto try_accept = [&](const VerifyCase& candidate) {
+    if (budget == 0) return false;
+    --budget;
+    if (check(candidate).empty()) return false;
+    best = candidate;
+    return true;
+  };
+
+  bool progressed = true;
+  while (progressed && budget > 0) {
+    progressed = false;
+
+    // Drop-gate passes: chunks of halving size, each tried at every
+    // aligned offset; restart a size on success (indices shifted).
+    const std::size_t count = best.circuit.gates().size();
+    for (std::size_t chunk = std::max<std::size_t>(count / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      bool dropped = true;
+      while (dropped && budget > 0) {
+        dropped = false;
+        const std::vector<Gate>& gates = best.circuit.gates();
+        if (gates.size() <= 1) break;
+        for (std::size_t start = 0; start < gates.size() && budget > 0;
+             start += chunk) {
+          std::vector<Gate> kept;
+          kept.reserve(gates.size());
+          for (std::size_t i = 0; i < gates.size(); ++i)
+            if (i < start || i >= start + chunk) kept.push_back(gates[i]);
+          if (kept.empty()) continue;
+          if (try_accept(rebuild(best, kept))) {
+            progressed = dropped = true;
+            break;  // gate list changed; rescan this chunk size
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Halve-qubit pass: keep only gates confined to the lower half of the
+    // register (rebuild compacts the rest away).
+    {
+      const int n = best.circuit.num_qubits();
+      const int keep_below = (n + 1) / 2;
+      if (keep_below >= 1 && keep_below < n) {
+        std::vector<Gate> kept;
+        for (const Gate& g : best.circuit.gates()) {
+          bool inside = true;
+          for (int b = 0; b < g.arity(); ++b)
+            inside = inside && g.qubits[b] < keep_below;
+          if (inside) kept.push_back(g);
+        }
+        if (!kept.empty() && kept.size() < best.circuit.gates().size() &&
+            try_accept(rebuild(best, kept)))
+          progressed = true;
+      }
+    }
+  }
+
+  // Final compaction (drops qubits the last accepted candidate freed).
+  VerifyCase compact = rebuild(best, best.circuit.gates());
+  if (compact.circuit.num_qubits() < best.circuit.num_qubits() &&
+      !check(compact).empty())
+    best = compact;
+  return best;
+}
+
+}  // namespace qfab::verify

@@ -1,0 +1,28 @@
+// Greedy failing-case minimization.
+//
+// On a mismatch the verifier does not hand the user a 48-gate, 6-qubit
+// circuit: it repeatedly tries dropping contiguous gate chunks (halving
+// chunk sizes, delta-debugging style) and removing qubits (untouched ones
+// always; the upper half when every gate on it can go too), keeping any
+// candidate on which the failure reproduces. Deterministic: same failing
+// case + same check -> same minimized circuit.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "verify/generator.h"
+
+namespace qfab::verify {
+
+/// Returns "" when the case passes, else a failure description. Must be
+/// deterministic for shrinking to terminate at a stable minimum.
+using FailureCheck = std::function<std::string(const VerifyCase&)>;
+
+/// Greedily minimize `failing` (on which `check` must return nonempty).
+/// `max_checks` bounds the number of candidate evaluations.
+VerifyCase shrink_case(const VerifyCase& failing, const FailureCheck& check,
+                       std::size_t max_checks = 500);
+
+}  // namespace qfab::verify

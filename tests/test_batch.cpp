@@ -9,6 +9,8 @@
 
 #include "common/rng.h"
 #include "exp/experiment.h"
+#include "exp/instances.h"
+#include "exp/sweep.h"
 #include "noise/estimator.h"
 #include "sim/batch.h"
 #include "sim/fusion.h"
@@ -471,6 +473,55 @@ TEST(BatchedEstimator, MultiMemberMatchesPerMemberEstimates) {
     for (std::size_t i = 0; i < ref.size(); ++i)
       EXPECT_NEAR(all[m][i], ref[i], 1e-9) << "member " << m << " bin " << i;
     EXPECT_EQ(rngs[m](), rng_ref()) << "member " << m;
+  }
+}
+
+TEST(BatchedSweep, RaggedGroupsMatchScalarSweep) {
+  // run_sweep's batched path packs instances into lane groups; the ragged
+  // cases — n_inst % lanes != 0 (5 % 2, 5 % 3) and lanes > n_inst (8 > 5)
+  // — must reproduce the scalar (batch_lanes = 1) sweep point for point,
+  // including the noise-free cluster.
+  SweepConfig cfg;
+  cfg.base.op = Operation::kAdd;
+  cfg.base.n = 3;
+  cfg.depths = {2, kFullDepth};
+  cfg.rates_percent = {4.0};
+  cfg.vary_2q = true;
+  cfg.orders = {1, 1};
+  cfg.instances = 5;
+  cfg.run.shots = 128;
+  cfg.run.error_trajectories = 6;
+  cfg.include_noise_free = true;
+  cfg.seed = 77;
+
+  Pcg64 gen(cfg.seed);
+  const auto insts = generate_instances(cfg.instances, 3, 3, cfg.orders, gen);
+
+  SweepConfig scalar_cfg = cfg;
+  scalar_cfg.run.batch_lanes = 1;
+  const SweepResult ref = run_sweep(scalar_cfg, insts);
+  ASSERT_EQ(ref.points.size(), 4u);  // 2 depths x (noise-free + 1 rate)
+
+  for (int lanes : {2, 3, 8}) {
+    SweepConfig batched_cfg = cfg;
+    batched_cfg.run.batch_lanes = lanes;
+    const SweepResult got = run_sweep(batched_cfg, insts);
+    ASSERT_EQ(got.points.size(), ref.points.size()) << "lanes=" << lanes;
+    for (std::size_t i = 0; i < ref.points.size(); ++i) {
+      const PointStats& a = ref.points[i].stats;
+      const PointStats& b = got.points[i].stats;
+      EXPECT_EQ(got.points[i].depth, ref.points[i].depth);
+      EXPECT_EQ(got.points[i].rate_percent, ref.points[i].rate_percent);
+      EXPECT_EQ(b.instances, a.instances) << "lanes=" << lanes << " pt " << i;
+      EXPECT_EQ(b.successes, a.successes) << "lanes=" << lanes << " pt " << i;
+      EXPECT_EQ(b.lower_flips, a.lower_flips)
+          << "lanes=" << lanes << " pt " << i;
+      EXPECT_EQ(b.upper_flips, a.upper_flips)
+          << "lanes=" << lanes << " pt " << i;
+      EXPECT_NEAR(b.success_rate, a.success_rate, 1e-12)
+          << "lanes=" << lanes << " pt " << i;
+      EXPECT_NEAR(b.sigma, a.sigma, 1e-9) << "lanes=" << lanes << " pt " << i;
+    }
   }
 }
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
 #include "common/bits.h"
 #include "common/cli.h"
@@ -284,6 +286,105 @@ TEST(Parallel, TinyRangeUnderGrainRunsAsOneChunk) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(Parallel, BodyExceptionRethrownOnCaller) {
+  // A throwing body must surface on the calling thread (not
+  // std::terminate the worker), and the pool must stay usable after.
+  EXPECT_THROW(
+      parallel_for_chunked(
+          0, 1000,
+          [&](std::size_t lo, std::size_t hi) {
+            // Keyed on containment, not chunk boundaries: holds under any
+            // chunking, including the whole-range serial fallback.
+            if (lo <= 500 && 500 < hi) throw std::runtime_error("body failed");
+          },
+          1),
+      std::runtime_error);
+
+  // CheckError (the repo's own assertion type) propagates with its type.
+  EXPECT_THROW(parallel_for(0, 64,
+                            [&](std::size_t i) {
+                              QFAB_CHECK_MSG(i != 40, "index 40 rejected");
+                            }),
+               CheckError);
+
+  // The pool was not wedged by the failed calls: a full pass still covers
+  // every index exactly once.
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000, [&](std::size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ExceptionCancelsButNeverRepeats) {
+  // After the first exception remaining chunks are cancelled; every index
+  // is visited at most once either way.
+  std::vector<std::atomic<int>> hits(512);
+  std::atomic<int> failures{0};
+  try {
+    parallel_for_chunked(
+        0, 512,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+          if (lo <= 256 && 256 < hi) throw std::runtime_error("halfway");
+        },
+        8);
+  } catch (const std::runtime_error&) {
+    ++failures;
+  }
+  EXPECT_EQ(failures.load(), 1);
+  for (auto& h : hits) EXPECT_LE(h.load(), 1);
+}
+
+TEST(Parallel, NestedCallsDoNotDeadlock) {
+  // A pool-worker caller must be able to run a nested parallel loop to
+  // completion even when every other worker is blocked in the same
+  // position (the callers help drain their own and each other's chunks).
+  std::atomic<long> total{0};
+  parallel_for_chunked(
+      0, 32,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          parallel_for(0, 100, [&](std::size_t) { ++total; });
+      },
+      1);
+  EXPECT_EQ(total.load(), 3200);
+}
+
+TEST(Parallel, NestedExceptionPropagatesThroughBothLevels) {
+  EXPECT_THROW(
+      parallel_for_chunked(
+          0, 8,
+          [&](std::size_t lo, std::size_t hi) {
+            parallel_for(0, 64, [&](std::size_t i) {
+              if (lo <= 4 && 4 < hi && i == 32)
+                throw std::runtime_error("inner");
+            });
+          },
+          1),
+      std::runtime_error);
+}
+
+TEST(Parallel, ConcurrentTopLevelCallers) {
+  // Multiple plain threads sharing the pool at once: each call's
+  // completion wait tracks only its own chunks.
+  constexpr int kThreads = 4;
+  constexpr std::size_t kN = 2000;
+  std::vector<std::vector<std::atomic<int>>> hits(kThreads);
+  for (auto& h : hits) h = std::vector<std::atomic<int>>(kN);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      parallel_for_chunked(
+          0, kN,
+          [&, t](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) ++hits[t][i];
+          },
+          3);
+    });
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t)
+    for (auto& h : hits[t]) ASSERT_EQ(h.load(), 1);
+}
+
 // ---------- cli ----------
 
 TEST(Cli, ParsesAllForms) {
@@ -320,6 +421,41 @@ TEST(Cli, DoubleListParsing) {
   const auto rates = flags.get_double_list("rates", {});
   ASSERT_EQ(rates.size(), 3u);
   EXPECT_DOUBLE_EQ(rates[1], 0.2);
+}
+
+TEST(Cli, RejectsEmptyNumericValue) {
+  // "--shots=" used to parse as 0 because strtol("") just returns 0 with
+  // end == str; an explicit empty value must be an error, not a silent 0.
+  const char* argv[] = {"prog", "--shots=", "--rate="};
+  CliFlags flags(3, argv);
+  EXPECT_THROW(flags.get_int("shots", 1024), CheckError);
+  EXPECT_THROW(flags.get_double("rate", 0.5), CheckError);
+}
+
+TEST(Cli, RejectsOutOfRangeValues) {
+  // strtol/strtod clamp on ERANGE (LONG_MAX / HUGE_VAL) instead of
+  // failing; the wrapper must check errno and reject.
+  const char* argv[] = {"prog", "--big=999999999999999999999999",
+                        "--huge=1e999", "--neg=-999999999999999999999999"};
+  CliFlags flags(4, argv);
+  EXPECT_THROW(flags.get_int("big", 0), CheckError);
+  EXPECT_THROW(flags.get_double("huge", 0.0), CheckError);
+  EXPECT_THROW(flags.get_int("neg", 0), CheckError);
+}
+
+TEST(Cli, RejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--x=12abc", "--y=3.5q"};
+  CliFlags flags(3, argv);
+  EXPECT_THROW(flags.get_int("x", 0), CheckError);
+  EXPECT_THROW(flags.get_double("y", 0.0), CheckError);
+}
+
+TEST(Cli, RejectsBadListValues) {
+  const char* argv[] = {"prog", "--a=1,,3", "--b=", "--c=0.1,x"};
+  CliFlags flags(4, argv);
+  EXPECT_THROW(flags.get_int_list("a", {}), CheckError);
+  EXPECT_THROW(flags.get_int_list("b", {}), CheckError);
+  EXPECT_THROW(flags.get_double_list("c", {}), CheckError);
 }
 
 // ---------- table ----------
