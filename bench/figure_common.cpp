@@ -29,6 +29,8 @@ bool parse_scale(const CliFlags& flags, FigureScale& scale,
   scale.trajectories =
       static_cast<int>(flags.get_int("traj", scale.trajectories));
   scale.per_shot = flags.get_bool("per-shot", scale.per_shot);
+  scale.shared_trajectories =
+      flags.get_bool("shared-trajectories", scale.shared_trajectories);
   scale.seed = static_cast<std::uint64_t>(
       flags.get_int("seed", static_cast<long>(scale.seed)));
   scale.depths = flags.get_int_list("depths", scale.depths);
@@ -83,6 +85,7 @@ void run_figure_row(const FigureScale& scale, const CircuitSpec& base,
   cfg.run.shots = scale.shots;
   cfg.run.error_trajectories = scale.trajectories;
   cfg.run.per_shot = scale.per_shot;
+  cfg.run.shared_trajectories = scale.shared_trajectories;
   cfg.run.noisy_rz = scale.noisy_rz;
   cfg.seed = scale.seed;
   cfg.progress = scale.progress;

@@ -16,6 +16,7 @@ struct FigureScale {
   std::uint64_t shots = 2048;
   int trajectories = 0;
   bool per_shot = false;
+  bool shared_trajectories = true;  // --shared-trajectories=0: per-rate mode
   std::uint64_t seed = 2112'09349;  // arXiv id of the paper
   std::vector<long> depths;     // kFullDepth sentinel allowed (-1)
   std::vector<double> rates_1q_percent;
@@ -26,9 +27,10 @@ struct FigureScale {
   bool measure_all = false;     // --measure-all: joint-bitstring success
 };
 
-/// Parse common flags (--instances, --shots, --traj, --per-shot, --seed,
-/// --depths, --rates1q, --rates2q, --csv, --paper-scale, --quiet) on top of
-/// the given defaults. Returns false (after printing usage) on bad flags.
+/// Parse common flags (--instances, --shots, --traj, --per-shot,
+/// --shared-trajectories, --seed, --depths, --rates1q, --rates2q, --csv,
+/// --paper-scale, --quiet) on top of the given defaults. Returns false
+/// (after printing usage) on bad flags.
 bool parse_scale(const CliFlags& flags, FigureScale& scale,
                  int paper_instances);
 

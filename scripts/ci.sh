@@ -23,6 +23,9 @@ run_preset() {
 }
 
 run_preset plain
+echo "== plain: bench_sweep smoke (bounded) =="
+./build-ci-plain/bench/bench_sweep --instances 4 --traj 6 --shots 256 \
+  --reps 1 --out build-ci-plain/BENCH_sweep_smoke.json
 QFAB_SIMD=scalar run_preset asan -DQFAB_SANITIZE=address
 QFAB_SIMD=scalar run_preset tsan -DQFAB_SANITIZE=thread
 

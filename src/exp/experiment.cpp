@@ -120,6 +120,32 @@ InstanceOutcome InstanceContext::evaluate(const NoiseModel& noise,
   return evaluate_counts(counts, correct_);
 }
 
+std::vector<InstanceOutcome> InstanceContext::evaluate_rates(
+    const std::vector<NoiseModel>& noises, const RunOptions& run,
+    std::vector<Pcg64>& rngs, SharedEstimateStats* stats) const {
+  QFAB_CHECK(!noises.empty() && noises.size() == rngs.size());
+  QFAB_CHECK(!run.per_shot);
+  std::vector<ErrorLocations> errors;
+  errors.reserve(noises.size());
+  for (const NoiseModel& noise : noises)
+    errors.emplace_back(clean_.circuit(), noise);
+  SharedEstimatorOptions opt;
+  opt.error_trajectories = run.error_trajectories;
+  opt.min_ess_fraction = run.shared_min_ess;
+  std::vector<std::vector<double>> channels = estimate_channel_marginal_shared(
+      clean_, errors, output_qubits_, opt, std::max(run.batch_lanes, 1), rngs,
+      stats);
+  std::vector<InstanceOutcome> outcomes;
+  outcomes.reserve(channels.size());
+  for (std::size_t r = 0; r < channels.size(); ++r) {
+    if (run.readout.enabled()) apply_readout_error(channels[r], run.readout);
+    const std::vector<std::uint64_t> counts =
+        sample_shot_counts(channels[r], run.shots, rngs[r]);
+    outcomes.push_back(evaluate_counts(counts, correct_));
+  }
+  return outcomes;
+}
+
 std::vector<StateVector> InstanceBatch::initial_states(
     const CircuitSpec& spec, const std::vector<ArithInstance>& group) {
   std::vector<StateVector> states;
@@ -179,6 +205,35 @@ std::vector<InstanceOutcome> InstanceBatch::evaluate_all(
     const std::vector<std::uint64_t> counts =
         sample_shot_counts(channels[m], run.shots, rngs[m]);
     outcomes.push_back(evaluate_counts(counts, correct_[m]));
+  }
+  return outcomes;
+}
+
+std::vector<std::vector<InstanceOutcome>> InstanceBatch::evaluate_all_rates(
+    const std::vector<NoiseModel>& noises, const RunOptions& run,
+    std::vector<std::vector<Pcg64>>& rngs, SharedEstimateStats* stats) const {
+  QFAB_CHECK(!noises.empty() && noises.size() == rngs.size());
+  QFAB_CHECK(!run.per_shot);
+  std::vector<ErrorLocations> errors;
+  errors.reserve(noises.size());
+  for (const NoiseModel& noise : noises)
+    errors.emplace_back(clean_.circuit(), noise);
+  SharedEstimatorOptions opt;
+  opt.error_trajectories = run.error_trajectories;
+  opt.min_ess_fraction = run.shared_min_ess;
+  std::vector<std::vector<std::vector<double>>> channels =
+      estimate_channel_marginals_shared(clean_, errors, output_qubits_, opt,
+                                        rngs, stats);
+  std::vector<std::vector<InstanceOutcome>> outcomes(channels.size());
+  for (std::size_t r = 0; r < channels.size(); ++r) {
+    outcomes[r].reserve(channels[r].size());
+    for (std::size_t m = 0; m < channels[r].size(); ++m) {
+      if (run.readout.enabled())
+        apply_readout_error(channels[r][m], run.readout);
+      const std::vector<std::uint64_t> counts =
+          sample_shot_counts(channels[r][m], run.shots, rngs[r][m]);
+      outcomes[r].push_back(evaluate_counts(counts, correct_[m]));
+    }
   }
   return outcomes;
 }

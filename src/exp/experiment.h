@@ -74,6 +74,16 @@ struct RunOptions {
   /// to this many per instance. <= 1 selects the single-state scalar path
   /// (as does per_shot, which is defined shot-sequentially).
   int batch_lanes = 8;
+  /// Estimate a sweep's whole positive-rate cluster from one shared set of
+  /// proposal trajectories per (instance, depth), importance-reweighted per
+  /// rate (noise/estimator.h: estimate_channel_marginal(s)_shared), instead
+  /// of sampling fresh trajectories per rate. Ignored in per-shot mode.
+  /// `--shared-trajectories=0` is the escape hatch back to per-rate
+  /// sampling.
+  bool shared_trajectories = true;
+  /// ESS guard threshold for shared-trajectory columns
+  /// (SharedEstimatorOptions::min_ess_fraction).
+  double shared_min_ess = 0.25;
   /// Measurement confusion applied to every output bit (extension; the
   /// paper's sweeps use none).
   ReadoutError readout;
@@ -94,6 +104,15 @@ class InstanceContext {
   /// Evaluate the instance at one noise point.
   InstanceOutcome evaluate(const NoiseModel& noise, const RunOptions& run,
                            Pcg64& rng) const;
+
+  /// Evaluate the instance at a whole cluster of noise points from one
+  /// shared trajectory set (estimate_channel_marginal_shared). rngs[r] is
+  /// the point rng of noises[r], consumed by the shared estimator's stream
+  /// protocol; each rate's shot counts are then drawn from its own stream.
+  /// A single-point cluster matches evaluate() bit-for-bit.
+  std::vector<InstanceOutcome> evaluate_rates(
+      const std::vector<NoiseModel>& noises, const RunOptions& run,
+      std::vector<Pcg64>& rngs, SharedEstimateStats* stats = nullptr) const;
 
  private:
   CleanRun clean_;
@@ -128,6 +147,16 @@ class InstanceBatch {
   std::vector<InstanceOutcome> evaluate_all(const NoiseModel& noise,
                                             const RunOptions& run,
                                             std::vector<Pcg64>& rngs) const;
+
+  /// Evaluate every member at a whole cluster of noise points from one
+  /// shared trajectory set per member
+  /// (estimate_channel_marginals_shared). rngs[r][m] is member m's point
+  /// rng at noises[r]. Returns [rate][member] outcomes; a single-point
+  /// cluster matches evaluate_all bit-for-bit.
+  std::vector<std::vector<InstanceOutcome>> evaluate_all_rates(
+      const std::vector<NoiseModel>& noises, const RunOptions& run,
+      std::vector<std::vector<Pcg64>>& rngs,
+      SharedEstimateStats* stats = nullptr) const;
 
  private:
   static std::vector<StateVector> initial_states(

@@ -1,9 +1,14 @@
 #include "exp/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <iostream>
+#include <mutex>
 #include <ostream>
+#include <sstream>
+#include <thread>
 
 #include "common/parallel.h"
 #include "common/stopwatch.h"
@@ -23,7 +28,71 @@ Pcg64 point_rng(std::uint64_t seed, std::size_t instance, std::size_t depth_i,
   return root.split(salt);
 }
 
+/// Sweep progress on stderr without worker-side writes: workers bump an
+/// atomic (instance, depth) unit counter; one watcher thread owned by
+/// run_sweep drains it at a fixed cadence and rewrites a single
+/// count/percent/ETA line. Disabled (no thread) when progress is off.
+class ProgressMeter {
+ public:
+  ProgressMeter(bool enabled, std::size_t total) : total_(total) {
+    if (enabled && total_ > 0) watcher_ = std::thread([this] { watch(); });
+  }
+  ~ProgressMeter() { finish(); }
+
+  void add(std::size_t n) { done_.fetch_add(n, std::memory_order_relaxed); }
+
+  /// Stop and join the watcher, then print the final line (idempotent).
+  void finish() {
+    if (!watcher_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    watcher_.join();
+    print();
+    std::cerr << '\n';
+  }
+
+ private:
+  void watch() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(500),
+                         [this] { return stop_; }))
+      print();
+  }
+
+  void print() const {
+    const std::size_t done = done_.load(std::memory_order_relaxed);
+    const double elapsed = watch_.seconds();
+    std::ostringstream line;
+    line << "\r  sweep " << done << '/' << total_ << " ("
+         << 100 * done / total_ << "%)";
+    if (done > 0 && done < total_) {
+      const double eta =
+          elapsed * static_cast<double>(total_ - done) / static_cast<double>(done);
+      line << " eta ~" << fmt_double(eta, 0) << "s";
+    }
+    line << "    ";
+    std::cerr << line.str() << std::flush;
+  }
+
+  const std::size_t total_;
+  std::atomic<std::size_t> done_{0};
+  Stopwatch watch_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread watcher_;
+};
+
 }  // namespace
+
+std::vector<double> SweepConfig::expanded_rates() const {
+  std::vector<double> rates = rates_percent;
+  if (include_noise_free) rates.insert(rates.begin(), 0.0);
+  return rates;
+}
 
 const SweepPoint& SweepResult::at(int depth, double rate_percent) const {
   for (const SweepPoint& p : points)
@@ -40,8 +109,7 @@ SweepResult run_sweep(const SweepConfig& config,
   QFAB_CHECK(!instances.empty());
   Stopwatch watch;
 
-  std::vector<double> rates = config.rates_percent;
-  if (config.include_noise_free) rates.insert(rates.begin(), 0.0);
+  const std::vector<double> rates = config.expanded_rates();
   const std::size_t n_depths = config.depths.size();
   const std::size_t n_rates = rates.size();
   const std::size_t n_inst = instances.size();
@@ -72,6 +140,24 @@ SweepResult run_sweep(const SweepConfig& config,
     return noise;
   };
 
+  // The positive-rate columns form one shared-trajectory cluster per
+  // (instance, depth): sampled once from the proposal rate and reweighted
+  // per column. Zero-rate columns (the noise-free cluster) stay on the
+  // per-rate path, which short-circuits to the ideal marginal anyway.
+  std::vector<std::size_t> cluster;
+  for (std::size_t r = 0; r < n_rates; ++r)
+    if (rates[r] > 0.0) cluster.push_back(r);
+  const bool use_shared = config.run.shared_trajectories &&
+                          !config.run.per_shot && !cluster.empty();
+  SharedEstimateStats shared_stats;
+  std::mutex shared_stats_mu;
+  auto merge_stats = [&](const SharedEstimateStats& local) {
+    if (!use_shared) return;
+    const std::lock_guard<std::mutex> lock(shared_stats_mu);
+    shared_stats.merge(local);
+  };
+
+  ProgressMeter progress(config.progress, n_inst * n_depths);
   const int lanes = std::clamp(config.run.batch_lanes, 1,
                                BatchedStateVector::kMaxLanes);
   if (lanes > 1 && !config.run.per_shot) {
@@ -84,6 +170,7 @@ SweepResult run_sweep(const SweepConfig& config,
     const std::size_t B = static_cast<std::size_t>(lanes);
     const std::size_t n_groups = (n_inst + B - 1) / B;
     parallel_for_chunked(0, n_groups, [&](std::size_t glo, std::size_t ghi) {
+      SharedEstimateStats local_stats;
       for (std::size_t g = glo; g < ghi; ++g) {
         const std::size_t i0 = g * B;
         const std::size_t i1 = std::min(i0 + B, n_inst);
@@ -95,6 +182,7 @@ SweepResult run_sweep(const SweepConfig& config,
           const InstanceBatch batch(circuits[d], spec, group, config.run,
                                     plans[d]);
           for (std::size_t r = 0; r < n_rates; ++r) {
+            if (use_shared && rates[r] > 0.0) continue;
             std::vector<Pcg64> rngs;
             rngs.reserve(group.size());
             for (std::size_t m = 0; m < group.size(); ++m)
@@ -104,13 +192,31 @@ SweepResult run_sweep(const SweepConfig& config,
             for (std::size_t m = 0; m < group.size(); ++m)
               outcomes[d][r][i0 + m] = results[m];
           }
+          if (use_shared) {
+            std::vector<NoiseModel> noises;
+            std::vector<std::vector<Pcg64>> rngs(cluster.size());
+            noises.reserve(cluster.size());
+            for (std::size_t c = 0; c < cluster.size(); ++c) {
+              noises.push_back(make_noise(cluster[c]));
+              rngs[c].reserve(group.size());
+              for (std::size_t m = 0; m < group.size(); ++m)
+                rngs[c].push_back(point_rng(config.seed, i0 + m, d, cluster[c]));
+            }
+            const std::vector<std::vector<InstanceOutcome>> results =
+                batch.evaluate_all_rates(noises, config.run, rngs,
+                                         &local_stats);
+            for (std::size_t c = 0; c < cluster.size(); ++c)
+              for (std::size_t m = 0; m < group.size(); ++m)
+                outcomes[d][cluster[c]][i0 + m] = results[c][m];
+          }
+          progress.add(i1 - i0);
         }
-        if (config.progress)
-          for (std::size_t i = i0; i < i1; ++i) std::cerr << '.' << std::flush;
       }
+      merge_stats(local_stats);
     });
   } else {
     parallel_for_chunked(0, n_inst, [&](std::size_t lo, std::size_t hi) {
+      SharedEstimateStats local_stats;
       for (std::size_t i = lo; i < hi; ++i) {
         for (std::size_t d = 0; d < n_depths; ++d) {
           CircuitSpec spec = config.base;
@@ -119,19 +225,36 @@ SweepResult run_sweep(const SweepConfig& config,
           const InstanceContext context(circuits[d], spec, instances[i],
                                         config.run, plans[d]);
           for (std::size_t r = 0; r < n_rates; ++r) {
+            if (use_shared && rates[r] > 0.0) continue;
             Pcg64 rng = point_rng(config.seed, i, d, r);
             outcomes[d][r][i] = context.evaluate(make_noise(r), config.run, rng);
           }
+          if (use_shared) {
+            std::vector<NoiseModel> noises;
+            std::vector<Pcg64> rngs;
+            noises.reserve(cluster.size());
+            rngs.reserve(cluster.size());
+            for (std::size_t r : cluster) {
+              noises.push_back(make_noise(r));
+              rngs.push_back(point_rng(config.seed, i, d, r));
+            }
+            const std::vector<InstanceOutcome> results =
+                context.evaluate_rates(noises, config.run, rngs, &local_stats);
+            for (std::size_t c = 0; c < cluster.size(); ++c)
+              outcomes[d][cluster[c]][i] = results[c];
+          }
+          progress.add(1);
         }
-        if (config.progress) std::cerr << '.' << std::flush;
       }
+      merge_stats(local_stats);
     });
   }
-  if (config.progress) std::cerr << '\n';
+  progress.finish();
 
   SweepResult result;
   result.config = config;
   result.config.instances = static_cast<int>(n_inst);
+  result.shared_stats = shared_stats;
   for (std::size_t d = 0; d < n_depths; ++d)
     for (std::size_t r = 0; r < n_rates; ++r) {
       SweepPoint point;
@@ -154,9 +277,7 @@ TextTable sweep_table(const SweepResult& result) {
   for (int d : result.config.depths) headers.push_back("d=" + depth_label(d));
   TextTable table(std::move(headers));
 
-  std::vector<double> rates = result.config.rates_percent;
-  if (result.config.include_noise_free) rates.insert(rates.begin(), 0.0);
-  for (double rate : rates) {
+  for (double rate : result.config.expanded_rates()) {
     std::vector<std::string> row;
     row.push_back(rate == 0.0 ? "noise-free" : fmt_double(rate, 2));
     for (int d : result.config.depths) {
@@ -176,7 +297,10 @@ void print_sweep(std::ostream& os, const SweepResult& result,
   os << "  instances=" << result.config.instances
      << " shots=" << result.config.run.shots << " traj="
      << result.config.run.error_trajectories
-     << (result.config.run.per_shot ? " mode=per-shot" : " mode=stratified")
+     << (result.config.run.per_shot
+             ? " mode=per-shot"
+             : (result.config.run.shared_trajectories ? " mode=shared"
+                                                      : " mode=stratified"))
      << " seed=" << result.config.seed << " ("
      << fmt_double(result.seconds, 1) << " s)\n";
   os << "  cells: success% [-lower/+upper error-bar instance flips]\n";

@@ -22,7 +22,13 @@ struct SweepConfig {
   RunOptions run;
   std::uint64_t seed = 0xC0FFEEULL;
   bool include_noise_free = true;
-  bool progress = false;          // per-instance dots on stderr
+  bool progress = false;  // rate-limited count/ETA line on stderr
+
+  /// The rate columns actually swept: rates_percent with the noise-free
+  /// column (0.0) prepended when include_noise_free is set. The single
+  /// source of truth for column order — run_sweep's outcome layout,
+  /// sweep_table's rows, and point_rng's rate index all use it.
+  std::vector<double> expanded_rates() const;
 };
 
 struct SweepPoint {
@@ -35,6 +41,9 @@ struct SweepResult {
   SweepConfig config;
   std::vector<SweepPoint> points;  // ordered (depth-major, rate-minor)
   double seconds = 0.0;
+  /// Shared-trajectory bookkeeping aggregated over the whole sweep (all
+  /// zeros when run.shared_trajectories is off or per_shot is on).
+  SharedEstimateStats shared_stats;
 
   const SweepPoint& at(int depth, double rate_percent) const;
 };

@@ -33,6 +33,93 @@ struct EstimatorOptions {
   int error_trajectories = 12;
 };
 
+/// Toggle reuse of the estimators' thread-local replay workspaces (batched
+/// state vector, scalar trajectory state, marginal accumulation buffers).
+/// On by default; bench_sweep flips it off for a before/after allocation-
+/// cost note. Global: flip only from single-threaded regions.
+void set_estimator_scratch_reuse(bool on);
+bool estimator_scratch_reuse();
+
+struct SharedEstimatorOptions {
+  /// Proposal trajectories (conditioned on >= 1 error) shared by the whole
+  /// rate cluster.
+  int error_trajectories = 12;
+  /// Effective-sample-size guard: a non-proposal rate column whose
+  /// reweighted ESS = (Σ w)²/Σ w² falls below this fraction of
+  /// error_trajectories is re-estimated by per-rate stratified sampling
+  /// from its own (still untouched) rng stream — exactly the call the
+  /// per-rate path would have made, so the fallback is bit-for-bit
+  /// reproducible. The proposal column never falls back (its weights are
+  /// uniform, ESS = T exactly).
+  double min_ess_fraction = 0.25;
+};
+
+/// Bookkeeping of one shared-trajectory estimate (merged across a sweep for
+/// bench reporting).
+struct SharedEstimateStats {
+  long proposal_trajectories = 0;  ///< sampled from the proposal rate
+  long unique_trajectories = 0;    ///< replayed after event-list dedup
+  long fallback_trajectories = 0;  ///< extra replays spent on ESS fallbacks
+  long rate_columns = 0;           ///< (rate, member) estimates produced
+  long fallback_columns = 0;       ///< of which re-estimated per-rate
+  double ess_fraction_min = 1.0;   ///< min ESS/T over non-proposal columns
+  double ess_fraction_sum = 0.0;   ///< Σ ESS/T; mean = sum / count
+  long ess_fraction_count = 0;
+
+  void merge(const SharedEstimateStats& other);
+};
+
+/// Shared-trajectory estimator for a *cluster* of error-rate columns of one
+/// instance. Instead of sampling T trajectories per rate, T trajectories
+/// are sampled once from the proposal — the cluster member with the largest
+/// expected event count — deduplicated by (fired sites, event list), and
+/// each unique trajectory is replayed once. Every rate's estimate is then a
+/// self-normalized importance-weighted mixture
+///
+///     p̂(rate) = w0(rate)·p_ideal + (1 − w0(rate)) · Σ_t w̃_t(rate)·p_t
+///
+/// with w0 = Π(1 − q_i) analytic as in the per-rate estimator, and the
+/// trajectory weights derived from per-site event probabilities: a
+/// trajectory that fired locations F has likelihood ratio
+/// Π_{i∈F} q'_i/q_i · Π_{i∉F} (1−q'_i)/(1−q_i); the non-fired product is a
+/// trajectory-independent constant, so log w_t = Σ_{i∈F} [log-odds'_i −
+/// log-odds_i] up to a constant that cancels under self-normalization
+/// (Σ_t w̃_t = 1). All cluster members must be reweightable_to each other
+/// (same location sites/kinds; rate columns of one noise-model family are).
+///
+/// rngs has one stream per rate, consumed by this exact protocol: the
+/// proposal's stream is consumed identically to the per-rate estimator
+/// (T sequential sample_at_least_one calls), every other stream is left
+/// untouched unless its column's ESS guard trips, in which case that
+/// column is produced by the per-rate estimator from its own stream —
+/// bit-for-bit what the per-rate path computes. A single-rate cluster
+/// delegates to the per-rate estimator outright (exact stream-for-stream
+/// match). Replay is batched up to `max_lanes` trajectories per plan pass
+/// (max_lanes == 1 replays scalar; fallback columns then also use the
+/// scalar per-rate estimator).
+///
+/// Returns one output-marginal estimate per rate, aligned with rate_errors.
+std::vector<std::vector<double>> estimate_channel_marginal_shared(
+    const CleanRun& clean, const std::vector<ErrorLocations>& rate_errors,
+    const std::vector<int>& output_qubits,
+    const SharedEstimatorOptions& options, int max_lanes,
+    std::vector<Pcg64>& rngs, SharedEstimateStats* stats = nullptr);
+
+/// All-members form of estimate_channel_marginal_shared for a batched group
+/// of clean runs: per member, T proposal trajectories are sampled
+/// (member-major, matching estimate_channel_marginals_batched's stream
+/// order) and deduplicated; ALL members' unique trajectories are pooled,
+/// sorted by first-error site, and replayed lanes-at-a-time through one
+/// shared plan pass. rngs[rate][member]; an ESS fallback re-estimates one
+/// (rate, member) column via the single-lane per-rate estimator from
+/// rngs[rate][member]. Returns [rate][member] marginal estimates.
+std::vector<std::vector<std::vector<double>>> estimate_channel_marginals_shared(
+    const BatchedCleanRun& clean, const std::vector<ErrorLocations>& rate_errors,
+    const std::vector<int>& output_qubits,
+    const SharedEstimatorOptions& options,
+    std::vector<std::vector<Pcg64>>& rngs,
+    SharedEstimateStats* stats = nullptr);
+
 /// Channel-averaged distribution of `output_qubits`.
 std::vector<double> estimate_channel_marginal(const CleanRun& clean,
                                               const ErrorLocations& errors,

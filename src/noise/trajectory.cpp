@@ -5,6 +5,20 @@
 
 namespace qfab {
 
+std::uint64_t hash_events(const std::vector<ErrorEvent>& events) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const ErrorEvent& ev : events) {
+    mix(ev.gate_index);
+    mix(static_cast<std::uint64_t>(ev.pauli0) |
+        (static_cast<std::uint64_t>(ev.pauli1) << 2));
+  }
+  return h;
+}
+
 CleanRun::CleanRun(const QuantumCircuit& circuit, StateVector initial,
                    std::size_t checkpoint_interval,
                    std::shared_ptr<const FusedPlan> plan)
@@ -48,6 +62,15 @@ StateVector CleanRun::state_at(std::size_t gate_count) const {
   StateVector sv = checkpoints_[k];
   plan_->apply_range(sv, base_gates, gate_count);
   return sv;
+}
+
+void CleanRun::state_at(std::size_t gate_count, StateVector& out) const {
+  QFAB_CHECK(gate_count <= plan_->gate_count());
+  const std::size_t k = std::min(gate_count / interval_,
+                                 checkpoints_.size() - 1);
+  const std::size_t base_gates = std::min(k * interval_, gate_count);
+  out = checkpoints_[k];  // vector assignment reuses out's heap storage
+  plan_->apply_range(out, base_gates, gate_count);
 }
 
 ErrorLocations::ErrorLocations(const QuantumCircuit& circuit,
@@ -113,10 +136,11 @@ std::vector<ErrorEvent> ErrorLocations::sample(Pcg64& rng) const {
 }
 
 std::vector<ErrorEvent> ErrorLocations::sample_at_least_one(
-    Pcg64& rng) const {
+    Pcg64& rng, std::vector<std::uint32_t>* fired) const {
   QFAB_CHECK_MSG(!locations_.empty() && clean_prob_ < 1.0,
                  "cannot condition on an error with no noisy gates");
   std::vector<ErrorEvent> events;
+  if (fired) fired->clear();
   // Sequential conditional Bernoulli: while no event has occurred yet,
   // location i fires with probability q_i / (1 - S_i) where S_i is the
   // probability that all of [i, end) stay clean. Once one event exists the
@@ -133,6 +157,7 @@ std::vector<ErrorEvent> ErrorLocations::sample_at_least_one(
     }
     if (rng.bernoulli(p)) {
       events.push_back(make_event(i, rng));
+      if (fired) fired->push_back(static_cast<std::uint32_t>(i));
       have_event = true;
     }
   }
@@ -140,35 +165,67 @@ std::vector<ErrorEvent> ErrorLocations::sample_at_least_one(
   return events;
 }
 
+double ErrorLocations::location_log_odds(std::size_t i) const {
+  QFAB_CHECK(i < locations_.size());
+  const double q = locations_[i].prob;
+  return std::log(q) - std::log1p(-q);
+}
+
+bool ErrorLocations::reweightable_to(const ErrorLocations& other) const {
+  if (locations_.size() != other.locations_.size()) return false;
+  for (std::size_t i = 0; i < locations_.size(); ++i) {
+    const Location& a = locations_[i];
+    const Location& b = other.locations_[i];
+    if (a.gate_index != b.gate_index || a.kind != b.kind || a.slot != b.slot)
+      return false;
+    if (a.prob <= 0.0 || b.prob <= 0.0) return false;
+    // The Pauli pick distribution must match so it cancels in the ratio;
+    // for depolarizing kinds it is uniform by construction.
+    if (a.kind == Location::Kind::kWeighted &&
+        (a.wx != b.wx || a.wy != b.wy || a.wz != b.wz))
+      return false;
+  }
+  return true;
+}
+
 StateVector run_trajectory(const CleanRun& clean,
                            const std::vector<ErrorEvent>& events) {
+  StateVector sv(clean.circuit().num_qubits());
+  run_trajectory(clean, events, sv);
+  return sv;
+}
+
+void run_trajectory(const CleanRun& clean,
+                    const std::vector<ErrorEvent>& events, StateVector& out) {
   const QuantumCircuit& qc = clean.circuit();
   const std::size_t total = qc.gates().size();
-  if (events.empty()) return clean.final_state();
+  if (events.empty()) {
+    out = clean.final_state();
+    return;
+  }
   QFAB_CHECK(std::is_sorted(events.begin(), events.end(),
                             [](const ErrorEvent& a, const ErrorEvent& b) {
                               return a.gate_index < b.gate_index;
                             }));
   // Resume the ideal run just after the first faulty gate.
-  StateVector sv = clean.state_at(events.front().gate_index + 1);
+  clean.state_at(events.front().gate_index + 1, out);
   std::size_t applied = events.front().gate_index + 1;
   for (std::size_t e = 0; e < events.size(); ++e) {
     const ErrorEvent& ev = events[e];
     QFAB_CHECK(ev.gate_index < total);
     // Replay ideal gates up to and including the faulty one.
     if (ev.gate_index + 1 > applied) {
-      clean.plan().apply_range(sv, applied, ev.gate_index + 1);
+      clean.plan().apply_range(out, applied, ev.gate_index + 1);
       applied = ev.gate_index + 1;
     }
     const Gate& g = qc.gates()[ev.gate_index];
-    if (ev.pauli0 != Pauli::kI) sv.apply_pauli(ev.pauli0, g.qubits[0]);
+    if (ev.pauli0 != Pauli::kI) out.apply_pauli(ev.pauli0, g.qubits[0]);
     if (ev.pauli1 != Pauli::kI) {
       QFAB_CHECK(g.arity() >= 2);
-      sv.apply_pauli(ev.pauli1, g.qubits[1]);
+      out.apply_pauli(ev.pauli1, g.qubits[1]);
     }
   }
-  clean.plan().apply_range(sv, applied, total);
-  return sv;
+  clean.plan().apply_range(out, applied, total);
 }
 
 BatchedCleanRun::BatchedCleanRun(std::shared_ptr<const FusedPlan> plan,

@@ -17,6 +17,7 @@
 // transpiled circuit, not per operand instance).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -34,7 +35,14 @@ struct ErrorEvent {
   std::size_t gate_index = 0;  // error applied after this gate
   Pauli pauli0 = Pauli::kI;
   Pauli pauli1 = Pauli::kI;
+
+  friend bool operator==(const ErrorEvent&, const ErrorEvent&) = default;
 };
+
+/// FNV-1a hash of an event list (gate sites and Pauli choices): the
+/// trajectory-dedup key used by the shared-trajectory estimator. Confirm
+/// collisions with element-wise equality before merging.
+std::uint64_t hash_events(const std::vector<ErrorEvent>& events);
 
 /// The ideal run of a (transpiled) circuit from a fixed initial state,
 /// with checkpoints every `checkpoint_interval` gates.
@@ -57,6 +65,10 @@ class CleanRun {
   /// State after the first `gate_count` gates (copies the nearest
   /// checkpoint and replays the remainder).
   StateVector state_at(std::size_t gate_count) const;
+  /// In-place form of state_at: assigns into `out` (redimensioning it,
+  /// reusing its storage when sizes match) instead of constructing a
+  /// fresh vector.
+  void state_at(std::size_t gate_count, StateVector& out) const;
 
  private:
   std::shared_ptr<const FusedPlan> plan_;
@@ -82,7 +94,28 @@ class ErrorLocations {
   /// Unconditional sample (may be empty), in gate order.
   std::vector<ErrorEvent> sample(Pcg64& rng) const;
   /// Sample conditioned on at least one event (exact sequential method).
-  std::vector<ErrorEvent> sample_at_least_one(Pcg64& rng) const;
+  /// When `fired` is non-null it receives the index of the location behind
+  /// each returned event (aligned with the result); the rng stream is
+  /// consumed identically either way.
+  std::vector<ErrorEvent> sample_at_least_one(
+      Pcg64& rng, std::vector<std::uint32_t>* fired = nullptr) const;
+
+  /// Number of error locations (noisy gate × slot entries).
+  std::size_t location_count() const { return locations_.size(); }
+  /// Event probability q_i of location i.
+  double location_prob(std::size_t i) const { return locations_[i].prob; }
+  /// log(q_i / (1 - q_i)): the per-site log odds. A trajectory sampled
+  /// from a proposal location set reweights to a target set by
+  /// exp(Σ_{i fired} [target odds_i − proposal odds_i]) up to a constant
+  /// that cancels under self-normalization (see estimator.h).
+  double location_log_odds(std::size_t i) const;
+
+  /// Whether trajectories sampled from this location set can be
+  /// importance-reweighted to `other` by per-site event probabilities
+  /// alone: same gate sites, kinds, slots, and within-location Pauli
+  /// distributions (the Pauli pick factors then cancel in the importance
+  /// ratio), with every event probability positive on both sides.
+  bool reweightable_to(const ErrorLocations& other) const;
 
  private:
   ErrorEvent make_event(std::size_t loc, Pcg64& rng) const;
@@ -108,6 +141,12 @@ class ErrorLocations {
 /// events. Events must be sorted by gate_index. Returns the final state.
 StateVector run_trajectory(const CleanRun& clean,
                            const std::vector<ErrorEvent>& events);
+
+/// In-place form of run_trajectory: writes the trajectory's final state
+/// into `out`, reusing its storage — the scalar estimator's per-trajectory
+/// scratch path (no state-vector allocation per trajectory).
+void run_trajectory(const CleanRun& clean,
+                    const std::vector<ErrorEvent>& events, StateVector& out);
 
 /// The ideal runs of one circuit from up to kMaxLanes *different* initial
 /// states (a group of operand instances), advanced in lockstep through one

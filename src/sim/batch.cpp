@@ -150,6 +150,19 @@ BatchedStateVector::BatchedStateVector(int num_qubits, int lanes)
   for (int l = 0; l < lanes_; ++l) re_[static_cast<std::size_t>(l)] = 1.0;
 }
 
+void BatchedStateVector::reset(int num_qubits, int lanes) {
+  QFAB_CHECK_MSG(num_qubits >= 1 && num_qubits <= 30,
+                 "unsupported qubit count " << num_qubits);
+  QFAB_CHECK_MSG(lanes >= 1 && lanes <= kMaxLanes,
+                 "unsupported lane count " << lanes);
+  num_qubits_ = num_qubits;
+  lanes_ = lanes;
+  const std::size_t total = dim() * static_cast<std::size_t>(lanes_);
+  re_.resize(total);
+  im_.resize(total);
+  pending_.resize(static_cast<std::size_t>(lanes_));
+}
+
 void BatchedStateVector::set_lane(int lane, const StateVector& sv) {
   QFAB_CHECK(lane >= 0 && lane < lanes_);
   QFAB_CHECK(sv.num_qubits() == num_qubits_);
@@ -325,6 +338,15 @@ std::vector<double> BatchedStateVector::lane_marginal_probabilities(
 std::vector<std::vector<double>>
 BatchedStateVector::all_lane_marginal_probabilities(
     const std::vector<int>& qubits) const {
+  std::vector<std::vector<double>> out;
+  std::vector<double> scratch;
+  all_lane_marginal_probabilities(qubits, out, scratch);
+  return out;
+}
+
+void BatchedStateVector::all_lane_marginal_probabilities(
+    const std::vector<int>& qubits, std::vector<std::vector<double>>& out,
+    std::vector<double>& scratch) const {
   QFAB_CHECK(!qubits.empty() &&
              qubits.size() <= static_cast<std::size_t>(num_qubits_));
   for (int q : qubits) QFAB_CHECK(q >= 0 && q < num_qubits_);
@@ -341,7 +363,8 @@ BatchedStateVector::all_lane_marginal_probabilities(
   // unit-stride fused multiply-add over the lanes. Additions land per
   // (lane, key) in ascending amplitude order — exactly the order
   // lane_marginal_probabilities uses — so the results are bitwise equal.
-  std::vector<double> acc(out_size * L, 0.0);
+  scratch.assign(out_size * L, 0.0);
+  double* acc = scratch.data();
   const int shift = qubits[0];
   const u64 mask = out_size - 1;
   for (u64 i = 0; i < n; ++i) {
@@ -355,15 +378,14 @@ BatchedStateVector::all_lane_marginal_probabilities(
     }
     const double* r = re_.data() + i * L;
     const double* m = im_.data() + i * L;
-    double* a = acc.data() + key * L;
+    double* a = acc + key * L;
     for (u64 l = 0; l < L; ++l) a[l] += r[l] * r[l] + m[l] * m[l];
   }
-  std::vector<std::vector<double>> out(static_cast<std::size_t>(lanes_));
+  out.resize(static_cast<std::size_t>(lanes_));
   for (u64 l = 0; l < L; ++l) {
     out[l].resize(out_size);
     for (u64 k = 0; k < out_size; ++k) out[l][k] = acc[k * L + l];
   }
-  return out;
 }
 
 double BatchedStateVector::lane_norm(int lane) const {

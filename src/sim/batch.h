@@ -80,6 +80,13 @@ class BatchedStateVector {
   int lanes() const { return lanes_; }
   u64 dim() const { return pow2(num_qubits_); }
 
+  /// Re-dimension to (num_qubits, lanes) reusing the existing heap
+  /// storage; lane contents are unspecified until set via broadcast /
+  /// set_lane / assign_permuted. This is the trajectory estimators'
+  /// per-group workspace path: one BatchedStateVector per thread instead
+  /// of one allocation per replay group.
+  void reset(int num_qubits, int lanes);
+
   /// Copy a state into one lane (pending phase folded in).
   void set_lane(int lane, const StateVector& sv);
   /// Copy one state into every lane (trajectory batches of one instance).
@@ -114,6 +121,12 @@ class BatchedStateVector {
   /// lane_marginal_probabilities.
   std::vector<std::vector<double>> all_lane_marginal_probabilities(
       const std::vector<int>& qubits) const;
+  /// Allocation-reusing form: `out` is resized to lanes() (inner vectors
+  /// reuse capacity) and `scratch` holds the lane-minor accumulation
+  /// plane between calls. Identical sums to the allocating overload.
+  void all_lane_marginal_probabilities(const std::vector<int>& qubits,
+                                       std::vector<std::vector<double>>& out,
+                                       std::vector<double>& scratch) const;
   double lane_norm(int lane) const;
 
   /// Raw planes for the batched kernels (amp-major, lane-minor).

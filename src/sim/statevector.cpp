@@ -304,10 +304,17 @@ std::vector<double> StateVector::probabilities() const {
 
 std::vector<double> StateVector::marginal_probabilities(
     const std::vector<int>& qubits) const {
+  std::vector<double> out;
+  marginal_probabilities(qubits, out);
+  return out;
+}
+
+void StateVector::marginal_probabilities(const std::vector<int>& qubits,
+                                         std::vector<double>& out) const {
   QFAB_CHECK(!qubits.empty() &&
              qubits.size() <= static_cast<std::size_t>(num_qubits_));
   for (int q : qubits) QFAB_CHECK(q >= 0 && q < num_qubits_);
-  std::vector<double> out(pow2(static_cast<int>(qubits.size())), 0.0);
+  out.assign(pow2(static_cast<int>(qubits.size())), 0.0);
   const u64 n = dim();
   // Contiguous ascending ranges (the experiment's output registers) need no
   // per-amplitude bit gather: the key is one shift and mask.
@@ -321,7 +328,7 @@ std::vector<double> StateVector::marginal_probabilities(
     const int shift = qubits[0];
     const u64 mask = static_cast<u64>(out.size()) - 1;
     for (u64 i = 0; i < n; ++i) out[(i >> shift) & mask] += std::norm(amps_[i]);
-    return out;
+    return;
   }
   for (u64 i = 0; i < n; ++i) {
     const double pr = std::norm(amps_[i]);
@@ -331,7 +338,6 @@ std::vector<double> StateVector::marginal_probabilities(
       key |= static_cast<u64>(get_bit(i, qubits[b])) << b;
     out[key] += pr;
   }
-  return out;
 }
 
 u64 StateVector::sample(Pcg64& rng) const {

@@ -70,6 +70,10 @@ class StateVector {
   /// bit 0), marginalized over the rest. Size 2^{qubits.size()}.
   std::vector<double> marginal_probabilities(
       const std::vector<int>& qubits) const;
+  /// Allocation-reusing form: assigns the marginal into `out` (resized to
+  /// 2^{qubits.size()}, reusing its capacity). Estimator scratch path.
+  void marginal_probabilities(const std::vector<int>& qubits,
+                              std::vector<double>& out) const;
   /// Sample one full-width measurement outcome.
   u64 sample(Pcg64& rng) const;
   /// Sample `shots` outcomes of the given qubit subset, returning a count

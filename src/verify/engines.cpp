@@ -219,6 +219,47 @@ std::string check_noisy_channel(const VerifyCase& c,
        << " trajectories)";
     return os.str();
   }
+
+  // Shared-trajectory cluster estimator over {rate/2, rate}: the proposal
+  // column samples the same stream the stratified estimators consumed, so
+  // it must match them to replay rounding; the reweighted half-rate column
+  // must stay within a (variance-inflated) statistical TV tolerance of its
+  // own exact channel. An ESS fallback on the half-rate column is fine —
+  // it reproduces the per-rate estimator, which meets the same bound.
+  NoiseModel half = noise;
+  half.p1q *= 0.5;
+  half.p2q *= 0.5;
+  std::vector<ErrorLocations> cluster;
+  cluster.emplace_back(tqc, half);
+  cluster.emplace_back(tqc, noise);  // proposal (largest expected events)
+  SharedEstimatorOptions sopt;
+  sopt.error_trajectories = opt.error_trajectories;
+  std::vector<Pcg64> rngs;
+  rngs.emplace_back(stream ^ 0x51a7edULL, c.index);
+  rngs.emplace_back(stream, c.index);  // the stratified estimators' stream
+  const std::vector<std::vector<double>> shared =
+      estimate_channel_marginal_shared(clean, cluster, outputs, sopt,
+                                       std::max(2, c.lanes), rngs);
+  const double d_shared = max_abs_diff(shared[1], est_scalar);
+  if (d_shared > opt.tol) {
+    std::ostringstream os;
+    os << "shared-trajectory proposal column vs stratified: max |dp| = "
+       << d_shared << " (tol " << opt.tol << ")";
+    return os.str();
+  }
+  violation = check_probability_simplex(shared[0], opt.tol);
+  if (!violation.empty()) return "estimator(shared half-rate): " + violation;
+  DensityMatrix dm_half(n);
+  dm_half.apply_noisy_circuit(tqc, half);
+  const double tv_half = total_variation(shared[0], dm_half.probabilities());
+  if (tv_half > 1.5 * opt.channel_tol) {
+    std::ostringstream os;
+    os << "shared-trajectory half-rate column vs exact channel: total "
+          "variation "
+       << tv_half << " (tol " << 1.5 * opt.channel_tol << ", "
+       << sopt.error_trajectories << " trajectories)";
+    return os.str();
+  }
   return {};
 }
 

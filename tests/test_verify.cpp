@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <string>
@@ -162,7 +163,10 @@ TEST(Shrink, MinimizesInjectedFailure) {
 }
 
 TEST(Repro, RoundTripsCaseAndMetadata) {
-  const std::string dir = "test_verify_repro_tmp";
+  // Per-process dir: ctest runs this binary twice concurrently (native and
+  // QFAB_SIMD=scalar variants), which must not clobber each other's files.
+  const std::string dir =
+      "test_verify_repro_tmp_" + std::to_string(::getpid());
   const VerifyCase c = generate_case(5, 3, GeneratorOptions{});
   const std::string path = write_repro(dir, c, "engine X vs Y: max |dp|\n= 1");
   std::string failure;
@@ -179,7 +183,9 @@ TEST(Repro, RoundTripsCaseAndMetadata) {
 }
 
 TEST(Verify, DriverReportsInjectedFailuresWithRepro) {
-  const std::string dir = "test_verify_driver_tmp";
+  // Per-process dir: see Repro.RoundTripsCaseAndMetadata.
+  const std::string dir =
+      "test_verify_driver_tmp_" + std::to_string(::getpid());
   VerifyOptions opts;
   opts.seed = 1;
   opts.cases = 8;
