@@ -12,12 +12,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/io.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "exp/experiment.h"
@@ -112,8 +113,7 @@ void cross_check(const Case& c, const QuantumCircuit& qc,
 }
 
 void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
-  std::ofstream out(path);
-  QFAB_CHECK_MSG(out.good(), "cannot open " << path);
+  std::ostringstream out;
   out << "{\n  \"benchmark\": \"batch\",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
@@ -129,6 +129,7 @@ void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  atomic_write_file(path, out.str());
 }
 
 int run(int argc, const char* const* argv) {

@@ -7,12 +7,13 @@
 // also cross-checks the two paths' final amplitudes (<= 1e-12).
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/io.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "exp/experiment.h"
@@ -95,8 +96,7 @@ BenchRow run_case(const std::string& name, const CircuitSpec& spec,
 }
 
 void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
-  std::ofstream out(path);
-  QFAB_CHECK_MSG(out.good(), "cannot open " << path);
+  std::ostringstream out;
   out << "{\n  \"benchmark\": \"fusion\",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
@@ -114,6 +114,7 @@ void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  atomic_write_file(path, out.str());
 }
 
 int run(int argc, const char* const* argv) {

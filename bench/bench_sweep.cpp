@@ -14,12 +14,13 @@
 // Writes machine-readable BENCH_sweep.json.
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/cli.h"
+#include "common/io.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
 #include "exp/instances.h"
@@ -62,8 +63,7 @@ double max_success_delta(const SweepResult& a, const SweepResult& b) {
 void write_json(const std::vector<BenchRow>& rows, const SweepConfig& config,
                 const SharedEstimateStats& stats, double stratified_replays,
                 double success_delta, const std::string& path) {
-  std::ofstream out(path);
-  QFAB_CHECK_MSG(out.good(), "cannot open " << path);
+  std::ostringstream out;
   const double dedup =
       stats.proposal_trajectories > 0
           ? static_cast<double>(stats.unique_trajectories) /
@@ -103,6 +103,7 @@ void write_json(const std::vector<BenchRow>& rows, const SweepConfig& config,
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
+  atomic_write_file(path, out.str());
 }
 
 int run(int argc, const char* const* argv) {

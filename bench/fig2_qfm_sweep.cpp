@@ -5,12 +5,14 @@
 // Note the paper's 'full' row is labeled d=3; see table1_gate_counts.
 #include <iostream>
 
+#include "common/shutdown.h"
 #include "figure_common.h"
 
 int main(int argc, char** argv) {
   using namespace qfab;
   using namespace qfab::bench;
 
+  install_shutdown_latch();
   const CliFlags flags(argc, argv);
   FigureScale scale;
   scale.instances = 8;
@@ -28,9 +30,18 @@ int main(int argc, char** argv) {
             << "Reference lines: current IBM hardware ~0.2% (1q), ~1.0% (2q)."
             << "\n\n";
 
-  run_figure_row(scale, base, {1, 1}, "1to1", "panels a,b");
-  run_figure_row(scale, base, {1, 2}, "1to2", "panels c,d");
-  run_figure_row(scale, base, {2, 2}, "2to2", "panels e,f");
+  const bool complete = run_figure_row(scale, base, {1, 1}, "1to1",
+                                       "panels a,b") &&
+                        run_figure_row(scale, base, {1, 2}, "1to2",
+                                       "panels c,d") &&
+                        run_figure_row(scale, base, {2, 2}, "2to2",
+                                       "panels e,f");
+  if (!complete) {
+    std::cout << "interrupted; partial results are journaled"
+              << (scale.checkpoint.empty() ? " only with --checkpoint" : "")
+              << ".\n";
+    return kResumableExitCode;
+  }
 
   std::cout << "Expected shape (paper): much lower success than QFA (far\n"
             << "larger circuits); 2q errors dominate; d=1 hurts at low noise\n"

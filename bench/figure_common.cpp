@@ -39,6 +39,10 @@ bool parse_scale(const CliFlags& flags, FigureScale& scale,
   scale.rates_2q_percent =
       flags.get_double_list("rates2q", scale.rates_2q_percent);
   scale.csv_prefix = flags.get_string("csv", scale.csv_prefix);
+  scale.checkpoint = flags.get_string("checkpoint", scale.checkpoint);
+  scale.resume = flags.get_bool("resume", scale.resume);
+  scale.unit_deadline_seconds =
+      flags.get_double("unit-deadline", scale.unit_deadline_seconds);
   scale.noisy_rz = !flags.get_bool("rz-noiseless", !scale.noisy_rz);
   scale.measure_all = flags.get_bool("measure-all", scale.measure_all);
   scale.progress = !flags.get_bool("quiet", !scale.progress);
@@ -73,7 +77,7 @@ void maybe_write_csv(const SweepResult& result, const std::string& prefix,
 
 }  // namespace
 
-void run_figure_row(const FigureScale& scale, const CircuitSpec& base,
+bool run_figure_row(const FigureScale& scale, const CircuitSpec& base,
                     const OperandOrders& orders, const std::string& row_name,
                     const std::string& reference_note) {
   SweepConfig cfg;
@@ -97,21 +101,39 @@ void run_figure_row(const FigureScale& scale, const CircuitSpec& base,
   const auto instances = generate_instances(
       scale.instances, base.n, base.n, orders, row_rng);
 
+  auto run_panel = [&](const char* axis) {
+    DurableOptions durable;
+    if (!scale.checkpoint.empty()) {
+      durable.journal_path =
+          scale.checkpoint + "_" + row_name + "_" + axis + ".journal";
+      durable.resume = scale.resume;
+    }
+    durable.unit_deadline_seconds = scale.unit_deadline_seconds;
+    const SweepResult result = run_sweep_durable(cfg, instances, durable);
+    if (!result.complete) {
+      std::cout << "panel " << row_name << " (" << axis << ") drained after "
+                << result.units_done << '/' << result.units_total
+                << " work units";
+      if (!durable.journal_path.empty())
+        std::cout << "; resume with --checkpoint=" << scale.checkpoint
+                  << " --resume";
+      std::cout << '\n';
+      return false;
+    }
+    print_sweep(std::cout, result,
+                "panel " + row_name + " | varying " + axis + " gate error (" +
+                    reference_note + ")");
+    maybe_write_csv(result, scale.csv_prefix, row_name, axis);
+    return true;
+  };
+
   cfg.vary_2q = false;
   cfg.rates_percent = scale.rates_1q_percent;
-  const SweepResult left = run_sweep(cfg, instances);
-  print_sweep(std::cout, left,
-              "panel " + row_name + " | varying 1q gate error (" +
-                  reference_note + ")");
-  maybe_write_csv(left, scale.csv_prefix, row_name, "1q");
+  if (!run_panel("1q")) return false;
 
   cfg.vary_2q = true;
   cfg.rates_percent = scale.rates_2q_percent;
-  const SweepResult right = run_sweep(cfg, instances);
-  print_sweep(std::cout, right,
-              "panel " + row_name + " | varying 2q gate error (" +
-                  reference_note + ")");
-  maybe_write_csv(right, scale.csv_prefix, row_name, "2q");
+  return run_panel("2q");
 }
 
 }  // namespace qfab::bench

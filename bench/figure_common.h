@@ -25,19 +25,29 @@ struct FigureScale {
   bool progress = true;
   bool noisy_rz = true;         // --rz-noiseless: treat RZ as virtual
   bool measure_all = false;     // --measure-all: joint-bitstring success
+  /// --checkpoint=PREFIX: journal every panel to
+  /// PREFIX_<row>_<axis>.journal (exp/journal.h) so an interrupted run can
+  /// be resumed. Empty = no checkpointing.
+  std::string checkpoint;
+  bool resume = false;          // --resume: restore journaled units first
+  double unit_deadline_seconds = 0.0;  // --unit-deadline: watchdog (s)
 };
 
 /// Parse common flags (--instances, --shots, --traj, --per-shot,
 /// --shared-trajectories, --seed, --depths, --rates1q, --rates2q, --csv,
-/// --paper-scale, --quiet) on top of the given defaults. Returns false
-/// (after printing usage) on bad flags.
+/// --checkpoint, --resume, --unit-deadline, --paper-scale, --quiet) on top
+/// of the given defaults. Returns false (after printing usage) on bad
+/// flags.
 bool parse_scale(const CliFlags& flags, FigureScale& scale,
                  int paper_instances);
 
 /// Run one figure row (fixed operand orders): generates the row's operand
 /// set once from the row seed, runs the 1q-rate panel then the 2q-rate
-/// panel, prints both, and optionally writes CSVs.
-void run_figure_row(const FigureScale& scale, const CircuitSpec& base,
+/// panel, prints both, and optionally writes CSVs. Returns false when a
+/// drain request (Ctrl-C / SIGTERM) stopped a panel early — the caller
+/// should skip the remaining rows and exit with kResumableExitCode; with
+/// --checkpoint set, re-running with --resume picks up where it left off.
+bool run_figure_row(const FigureScale& scale, const CircuitSpec& base,
                     const OperandOrders& orders, const std::string& row_name,
                     const std::string& reference_note);
 

@@ -22,11 +22,47 @@ run_preset() {
   (cd "${builddir}" && ctest -L verify --output-on-failure)
 }
 
+# Crash a bounded figure run mid-sweep with an injected fault, resume it
+# from the checkpoint journal, and require the CSVs to match an
+# uninterrupted reference run byte for byte (the durability contract;
+# DESIGN.md §10). Exit 86 is the fault injector's distinctive crash code.
+crash_resume_smoke() {
+  local name="$1"
+  local builddir="build-ci-${name}"
+  local smokedir="${builddir}/crash_resume_smoke"
+  local flags=(--instances 3 --traj 3 --shots 64 --depths 1,2
+               --rates1q 0.4 --rates2q 1.0 --quiet)
+  echo "== ${name}: crash-resume smoke =="
+  rm -rf "${smokedir}"
+  mkdir -p "${smokedir}"
+  (
+    cd "${smokedir}"
+    ../bench/fig1_qfa_sweep "${flags[@]}" --csv ref >/dev/null
+    set +e
+    QFAB_FAULT=crash-after-unit=2 ../bench/fig1_qfa_sweep "${flags[@]}" \
+      --csv ckpt --checkpoint ckpt >/dev/null 2>&1
+    local crash_rc=$?
+    set -e
+    if [[ "${crash_rc}" -ne 86 ]]; then
+      echo "crash-resume smoke: expected injected-crash exit 86, got ${crash_rc}" >&2
+      exit 1
+    fi
+    ../bench/fig1_qfa_sweep "${flags[@]}" --csv ckpt --checkpoint ckpt \
+      --resume >/dev/null
+    for ref in ref_*.csv; do
+      cmp "${ref}" "ckpt${ref#ref}"
+    done
+  )
+  echo "== ${name}: crash-resume smoke: resumed CSVs match reference =="
+}
+
 run_preset plain
 echo "== plain: bench_sweep smoke (bounded) =="
 ./build-ci-plain/bench/bench_sweep --instances 4 --traj 6 --shots 256 \
   --reps 1 --out build-ci-plain/BENCH_sweep_smoke.json
+crash_resume_smoke plain
 QFAB_SIMD=scalar run_preset asan -DQFAB_SANITIZE=address
+QFAB_SIMD=scalar crash_resume_smoke asan
 QFAB_SIMD=scalar run_preset tsan -DQFAB_SANITIZE=thread
 
 echo "CI: all presets green"

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/io.h"
 
 namespace qfab {
 
@@ -50,8 +51,9 @@ void TextTable::print(std::ostream& os) const {
 }
 
 void TextTable::write_csv(const std::string& path) const {
-  std::ofstream os(path);
-  QFAB_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  // Built in memory and written via atomic tmp+fsync+rename so a crash or
+  // interrupt mid-write can never leave a torn CSV behind.
+  std::ostringstream os;
   auto write_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ',';
@@ -64,7 +66,7 @@ void TextTable::write_csv(const std::string& path) const {
   };
   write_row(headers_);
   for (const auto& row : rows_) write_row(row);
-  QFAB_CHECK_MSG(os.good(), "write failed for " << path);
+  atomic_write_file(path, os.str());
 }
 
 std::string fmt_double(double v, int decimals) {

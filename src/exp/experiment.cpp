@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#include "sim/invariants.h"
 #include "transpile/transpile.h"
 
 namespace qfab {
+
+namespace {
+
+// Health-sentinel tolerance: loose enough that legitimate rounding over the
+// paper's deepest circuits never trips it, tight enough to catch NaN/Inf
+// and genuine norm collapse.
+constexpr double kHealthTol = 1e-6;
+
+void throw_if_unhealthy(const std::string& violation, const char* where) {
+  if (!violation.empty())
+    throw NumericalHealthError(std::string(where) + ": " + violation);
+}
+
+void check_channel_health(const RunOptions& run,
+                          const std::vector<double>& channel,
+                          const char* where) {
+  if (!run.health_checks) return;
+  throw_if_unhealthy(check_probability_simplex(channel, kHealthTol), where);
+}
+
+}  // namespace
 
 int resolve_rotation_cap(const CircuitSpec& spec) {
   if (spec.max_rotation_order >= 0) return spec.max_rotation_order;
@@ -95,7 +117,11 @@ InstanceContext::InstanceContext(const QuantumCircuit& transpiled,
     : clean_(transpiled, make_initial_state(spec, inst),
              run.checkpoint_interval, std::move(plan)),
       output_qubits_(output_qubits(spec)),
-      correct_(correct_outputs(spec, inst)) {}
+      correct_(correct_outputs(spec, inst)) {
+  if (run.health_checks)
+    throw_if_unhealthy(check_norm(clean_.final_state(), kHealthTol),
+                       "clean run final state");
+}
 
 InstanceOutcome InstanceContext::evaluate(const NoiseModel& noise,
                                           const RunOptions& run,
@@ -114,6 +140,7 @@ InstanceOutcome InstanceContext::evaluate(const NoiseModel& noise,
                                                 est, run.batch_lanes, rng)
             : estimate_channel_marginal(clean_, errors, output_qubits_, est,
                                         rng);
+    check_channel_health(run, channel, "estimated channel");
     if (run.readout.enabled()) apply_readout_error(channel, run.readout);
     counts = sample_shot_counts(channel, run.shots, rng);
   }
@@ -138,6 +165,7 @@ std::vector<InstanceOutcome> InstanceContext::evaluate_rates(
   std::vector<InstanceOutcome> outcomes;
   outcomes.reserve(channels.size());
   for (std::size_t r = 0; r < channels.size(); ++r) {
+    check_channel_health(run, channels[r], "shared-cluster channel");
     if (run.readout.enabled()) apply_readout_error(channels[r], run.readout);
     const std::vector<std::uint64_t> counts =
         sample_shot_counts(channels[r], run.shots, rngs[r]);
@@ -168,6 +196,9 @@ InstanceBatch::InstanceBatch(const QuantumCircuit& transpiled,
   // CleanRun): trajectory injection addresses gates by index through it.
   QFAB_CHECK(clean_.circuit().num_qubits() == transpiled.num_qubits());
   QFAB_CHECK(clean_.plan().gate_count() == transpiled.gates().size());
+  if (run.health_checks)
+    throw_if_unhealthy(check_lane_norms(clean_.final_states(), kHealthTol),
+                       "batched clean run final states");
   correct_.reserve(group.size());
   for (const ArithInstance& inst : group)
     correct_.push_back(correct_outputs(spec, inst));
@@ -183,6 +214,7 @@ InstanceOutcome InstanceBatch::evaluate(int member, const NoiseModel& noise,
   std::vector<double> channel = estimate_channel_marginal_batched(
       clean_, member, errors, output_qubits_, est, std::max(run.batch_lanes, 1),
       rng);
+  check_channel_health(run, channel, "estimated channel");
   if (run.readout.enabled()) apply_readout_error(channel, run.readout);
   std::vector<std::uint64_t> counts = sample_shot_counts(channel, run.shots, rng);
   return evaluate_counts(counts, correct_[static_cast<std::size_t>(member)]);
@@ -201,6 +233,7 @@ std::vector<InstanceOutcome> InstanceBatch::evaluate_all(
   std::vector<InstanceOutcome> outcomes;
   outcomes.reserve(channels.size());
   for (std::size_t m = 0; m < channels.size(); ++m) {
+    check_channel_health(run, channels[m], "estimated channel");
     if (run.readout.enabled()) apply_readout_error(channels[m], run.readout);
     const std::vector<std::uint64_t> counts =
         sample_shot_counts(channels[m], run.shots, rngs[m]);
@@ -228,6 +261,7 @@ std::vector<std::vector<InstanceOutcome>> InstanceBatch::evaluate_all_rates(
   for (std::size_t r = 0; r < channels.size(); ++r) {
     outcomes[r].reserve(channels[r].size());
     for (std::size_t m = 0; m < channels[r].size(); ++m) {
+      check_channel_health(run, channels[r][m], "shared-cluster channel");
       if (run.readout.enabled())
         apply_readout_error(channels[r][m], run.readout);
       const std::vector<std::uint64_t> counts =

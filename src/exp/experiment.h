@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "arith/expected.h"
 #include "exp/instances.h"
@@ -15,6 +16,17 @@
 namespace qfab {
 
 enum class Operation { kAdd, kMultiply };
+
+/// Thrown by the numerical health sentinels (RunOptions::health_checks)
+/// when a clean run's norm drifts off 1 or an estimated channel leaves the
+/// probability simplex (NaN/Inf included). Distinct from CheckError so the
+/// sweep driver can catch it and retry the work unit on the scalar
+/// non-fused path before declaring the point poisoned.
+class NumericalHealthError : public std::runtime_error {
+ public:
+  explicit NumericalHealthError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Which circuit a point simulates.
 struct CircuitSpec {
@@ -84,6 +96,12 @@ struct RunOptions {
   /// ESS guard threshold for shared-trajectory columns
   /// (SharedEstimatorOptions::min_ess_fraction).
   double shared_min_ess = 0.25;
+  /// Cheap numerical health sentinels, amortized off the inner loops:
+  /// clean-run norm drift at context construction and a probability-simplex
+  /// check on every estimated channel before shots are drawn. A violation
+  /// throws NumericalHealthError (see above) instead of silently sampling
+  /// from garbage.
+  bool health_checks = true;
   /// Measurement confusion applied to every output bit (extension; the
   /// paper's sweeps use none).
   ReadoutError readout;

@@ -5,20 +5,26 @@
 #include <cmath>
 #include <condition_variable>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
 
 #include "common/parallel.h"
+#include "common/shutdown.h"
 #include "common/stopwatch.h"
+#include "exp/journal.h"
 
 namespace qfab {
 
 namespace {
 
 /// Deterministic per-(instance, depth, rate) RNG, independent of execution
-/// order and thread scheduling.
+/// order and thread scheduling. This is what makes checkpoint/resume exact:
+/// a unit computed after a restart draws the same streams it would have
+/// drawn in the uninterrupted run.
 Pcg64 point_rng(std::uint64_t seed, std::size_t instance, std::size_t depth_i,
                 std::size_t rate_i) {
   const std::uint64_t salt = (static_cast<std::uint64_t>(instance) << 32) ^
@@ -28,38 +34,253 @@ Pcg64 point_rng(std::uint64_t seed, std::size_t instance, std::size_t depth_i,
   return root.split(salt);
 }
 
-/// Sweep progress on stderr without worker-side writes: workers bump an
-/// atomic (instance, depth) unit counter; one watcher thread owned by
-/// run_sweep drains it at a fixed cadence and rewrites a single
-/// count/percent/ETA line. Disabled (no thread) when progress is off.
-class ProgressMeter {
- public:
-  ProgressMeter(bool enabled, std::size_t total) : total_(total) {
-    if (enabled && total_ > 0) watcher_ = std::thread([this] { watch(); });
+NoiseModel noise_at(const SweepConfig& config, double rate_percent) {
+  NoiseModel noise;
+  (config.vary_2q ? noise.p2q : noise.p1q) = rate_percent / 100.0;
+  noise.noisy_rz = config.run.noisy_rz;
+  noise.noisy_id = config.run.noisy_id;
+  return noise;
+}
+
+/// Immutable per-sweep state shared by every work unit (circuits and fused
+/// plans are compiled once per depth), plus the lazily compiled scalar
+/// non-fused plans that health-sentinel retries fall back to.
+struct SweepContext {
+  SweepContext(const SweepConfig& config_in,
+               const std::vector<ArithInstance>& instances_in)
+      : config(config_in), instances(instances_in) {}
+
+  const SweepConfig& config;
+  const std::vector<ArithInstance>& instances;
+  std::vector<double> rates;
+  std::vector<std::size_t> cluster;  // positive-rate column indices
+  bool use_shared = false;
+  std::size_t block = 1;  // instances per work unit
+  std::vector<QuantumCircuit> circuits;
+  std::vector<std::shared_ptr<const FusedPlan>> plans;
+
+  std::mutex nonfused_mu;
+  std::vector<std::shared_ptr<const FusedPlan>> nonfused;
+
+  /// Per-gate (fusion disabled) plan for depth index `d`, compiled on first
+  /// use: retries deliberately avoid the fused kernels in case the fault
+  /// lives there.
+  std::shared_ptr<const FusedPlan> nonfused_plan(std::size_t d) {
+    const std::lock_guard<std::mutex> lock(nonfused_mu);
+    if (!nonfused[d]) {
+      FusionOptions opt;
+      opt.enable = false;
+      nonfused[d] = std::make_shared<const FusedPlan>(circuits[d], opt);
+    }
+    return nonfused[d];
   }
-  ~ProgressMeter() { finish(); }
+};
+
+/// One work unit's results: outcomes[rate][member] for the instance block,
+/// plus its shared-trajectory bookkeeping contribution.
+struct UnitOut {
+  std::vector<std::vector<InstanceOutcome>> outcomes;
+  SharedEstimateStats stats;
+  bool retried = false;   // sentinel tripped, scalar retry ran
+  bool poisoned = false;  // sentinel tripped on the retry too
+  std::string error;      // poisoned-member descriptions
+};
+
+/// Evaluate one instance on the scalar path (InstanceContext): all
+/// non-shared rate columns per-rate, then the shared cluster. Used both as
+/// the primary path when units are single-instance (per-shot mode or
+/// batch_lanes <= 1) and per-member by health-sentinel retries.
+void evaluate_member_scalar(SweepContext& sc, std::size_t i, std::size_t d,
+                            const RunOptions& run,
+                            std::shared_ptr<const FusedPlan> plan,
+                            UnitOut& out, std::size_t m) {
+  CircuitSpec spec = sc.config.base;
+  spec.depth = sc.config.depths[d];
+  // One ideal run (with checkpoints) serves every rate cluster.
+  const InstanceContext context(sc.circuits[d], spec, sc.instances[i], run,
+                                std::move(plan));
+  for (std::size_t r = 0; r < sc.rates.size(); ++r) {
+    if (sc.use_shared && sc.rates[r] > 0.0) continue;
+    Pcg64 rng = point_rng(sc.config.seed, i, d, r);
+    out.outcomes[r][m] =
+        context.evaluate(noise_at(sc.config, sc.rates[r]), run, rng);
+  }
+  if (sc.use_shared) {
+    std::vector<NoiseModel> noises;
+    std::vector<Pcg64> rngs;
+    noises.reserve(sc.cluster.size());
+    rngs.reserve(sc.cluster.size());
+    for (std::size_t r : sc.cluster) {
+      noises.push_back(noise_at(sc.config, sc.rates[r]));
+      rngs.push_back(point_rng(sc.config.seed, i, d, r));
+    }
+    const std::vector<InstanceOutcome> results =
+        context.evaluate_rates(noises, run, rngs, &out.stats);
+    for (std::size_t c = 0; c < sc.cluster.size(); ++c)
+      out.outcomes[sc.cluster[c]][m] = results[c];
+  }
+}
+
+/// Batched path: the whole instance block shares each ideal run (one
+/// fused-plan pass for the group) and each instance's error trajectories
+/// batch again inside evaluate. Every point still draws from
+/// point_rng(seed, i, d, r), so results are independent of grouping and
+/// identical in distribution to the scalar path.
+void run_unit_batched(SweepContext& sc, std::size_t d, std::size_t i0,
+                      std::size_t i1, const RunOptions& run, UnitOut& out) {
+  const std::vector<ArithInstance> group(sc.instances.begin() + i0,
+                                         sc.instances.begin() + i1);
+  CircuitSpec spec = sc.config.base;
+  spec.depth = sc.config.depths[d];
+  const InstanceBatch batch(sc.circuits[d], spec, group, run, sc.plans[d]);
+  for (std::size_t r = 0; r < sc.rates.size(); ++r) {
+    if (sc.use_shared && sc.rates[r] > 0.0) continue;
+    std::vector<Pcg64> rngs;
+    rngs.reserve(group.size());
+    for (std::size_t m = 0; m < group.size(); ++m)
+      rngs.push_back(point_rng(sc.config.seed, i0 + m, d, r));
+    const std::vector<InstanceOutcome> results =
+        batch.evaluate_all(noise_at(sc.config, sc.rates[r]), run, rngs);
+    for (std::size_t m = 0; m < group.size(); ++m)
+      out.outcomes[r][m] = results[m];
+  }
+  if (sc.use_shared) {
+    std::vector<NoiseModel> noises;
+    std::vector<std::vector<Pcg64>> rngs(sc.cluster.size());
+    noises.reserve(sc.cluster.size());
+    for (std::size_t c = 0; c < sc.cluster.size(); ++c) {
+      noises.push_back(noise_at(sc.config, sc.rates[sc.cluster[c]]));
+      rngs[c].reserve(group.size());
+      for (std::size_t m = 0; m < group.size(); ++m)
+        rngs[c].push_back(point_rng(sc.config.seed, i0 + m, d, sc.cluster[c]));
+    }
+    const std::vector<std::vector<InstanceOutcome>> results =
+        batch.evaluate_all_rates(noises, run, rngs, &out.stats);
+    for (std::size_t c = 0; c < sc.cluster.size(); ++c)
+      for (std::size_t m = 0; m < group.size(); ++m)
+        out.outcomes[sc.cluster[c]][m] = results[c][m];
+  }
+}
+
+/// Run one work unit: instance block [i0, i1) at depth index d, all rate
+/// columns. When a numerical health sentinel trips, retry every member once
+/// on the scalar non-fused path (the most conservative engine in the repo);
+/// members that fail again are recorded as poisoned (outcomes stay
+/// success=false) instead of crashing the sweep.
+UnitOut run_unit(SweepContext& sc, std::size_t d, std::size_t i0,
+                 std::size_t i1) {
+  const std::size_t members = i1 - i0;
+  UnitOut out;
+  out.outcomes.assign(sc.rates.size(), std::vector<InstanceOutcome>(members));
+  try {
+    if (sc.block > 1)
+      run_unit_batched(sc, d, i0, i1, sc.config.run, out);
+    else
+      evaluate_member_scalar(sc, i0, d, sc.config.run, sc.plans[d], out, 0);
+    return out;
+  } catch (const NumericalHealthError& err) {
+    std::cerr << "\n[qfab] numerical health sentinel tripped (depth "
+              << depth_label(sc.config.depths[d]) << ", instances [" << i0
+              << "," << i1 << ")): " << err.what()
+              << "; retrying on the scalar non-fused path\n";
+  }
+  out = UnitOut{};
+  out.outcomes.assign(sc.rates.size(), std::vector<InstanceOutcome>(members));
+  out.retried = true;
+  RunOptions retry = sc.config.run;
+  retry.batch_lanes = 1;
+  const std::shared_ptr<const FusedPlan> plan = sc.nonfused_plan(d);
+  for (std::size_t m = 0; m < members; ++m) {
+    try {
+      evaluate_member_scalar(sc, i0 + m, d, retry, plan, out, m);
+    } catch (const NumericalHealthError& err) {
+      out.poisoned = true;
+      std::ostringstream desc;
+      desc << "instance " << (i0 + m) << " at depth "
+           << depth_label(sc.config.depths[d])
+           << " failed the scalar non-fused retry: " << err.what();
+      if (!out.error.empty()) out.error += "; ";
+      out.error += desc.str();
+      for (std::size_t r = 0; r < sc.rates.size(); ++r)
+        out.outcomes[r][m] = InstanceOutcome{};
+    }
+  }
+  return out;
+}
+
+/// Sweep progress, drain display, and the soft-deadline watchdog, all on
+/// one watcher thread owned by run_sweep_durable (no worker-side stderr
+/// writes): workers bump an atomic member counter and register in-flight
+/// units; the watcher rewrites a count/percent/ETA line at a fixed cadence
+/// and journals a timeout marker for units past the deadline. The thread is
+/// joined on every exit path — finish() is called from the destructor too,
+/// so a worker exception cannot leak a detached watcher past the sweep's
+/// locals.
+class SweepMonitor {
+ public:
+  SweepMonitor(bool progress, std::size_t total_members, double deadline,
+               JournalWriter* journal)
+      : progress_(progress && total_members > 0),
+        total_(total_members),
+        deadline_(deadline),
+        journal_(journal) {
+    if (progress_ || deadline_ > 0.0)
+      watcher_ = std::thread([this] { watch(); });
+  }
+  ~SweepMonitor() { finish(); }
 
   void add(std::size_t n) { done_.fetch_add(n, std::memory_order_relaxed); }
 
-  /// Stop and join the watcher, then print the final line (idempotent).
-  void finish() {
-    if (!watcher_.joinable()) return;
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
+  void unit_started(std::size_t unit, std::size_t depth_index, std::size_t i0,
+                    std::size_t i1) {
+    if (deadline_ <= 0.0) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    inflight_[unit] = InFlight{watch_.seconds(), depth_index, i0, i1, false};
+  }
+  void unit_finished(std::size_t unit) {
+    if (deadline_ <= 0.0) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(unit);
+  }
+
+  /// Stop and join the watcher, then print the final line (idempotent,
+  /// never throws: runs from the destructor during unwinding too).
+  void finish() noexcept {
+    try {
+      if (watcher_.joinable()) {
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          stop_ = true;
+        }
+        cv_.notify_all();
+        watcher_.join();
+      }
+      if (progress_ && !final_printed_) {
+        final_printed_ = true;
+        print();
+        std::cerr << '\n';
+      }
+    } catch (...) {
+      // stderr reporting is best-effort; never propagate out of a dtor.
     }
-    cv_.notify_all();
-    watcher_.join();
-    print();
-    std::cerr << '\n';
   }
 
  private:
+  struct InFlight {
+    double start = 0.0;
+    std::size_t depth_index = 0;
+    std::size_t i0 = 0;
+    std::size_t i1 = 0;
+    bool flagged = false;
+  };
+
   void watch() {
     std::unique_lock<std::mutex> lock(mu_);
     while (!cv_.wait_for(lock, std::chrono::milliseconds(500),
-                         [this] { return stop_; }))
-      print();
+                         [this] { return stop_; })) {
+      if (progress_) print();
+      if (deadline_ > 0.0) check_deadlines();
+    }
   }
 
   void print() const {
@@ -69,20 +290,54 @@ class ProgressMeter {
     line << "\r  sweep " << done << '/' << total_ << " ("
          << 100 * done / total_ << "%)";
     if (done > 0 && done < total_) {
-      const double eta =
-          elapsed * static_cast<double>(total_ - done) / static_cast<double>(done);
+      const double eta = elapsed * static_cast<double>(total_ - done) /
+                         static_cast<double>(done);
       line << " eta ~" << fmt_double(eta, 0) << "s";
     }
+    if (shutdown_requested()) line << " [draining]";
     line << "    ";
     std::cerr << line.str() << std::flush;
   }
 
+  // Called with mu_ held. Each overdue unit is flagged and journaled once;
+  // it keeps running (simulation work is not preemptible) and its eventual
+  // completion record supersedes the marker.
+  void check_deadlines() {
+    const double now = watch_.seconds();
+    for (auto& entry : inflight_) {
+      InFlight& f = entry.second;
+      if (f.flagged || now - f.start <= deadline_) continue;
+      f.flagged = true;
+      std::cerr << "\n[qfab] work unit (depth_index=" << f.depth_index
+                << ", instances [" << f.i0 << "," << f.i1
+                << ")) exceeded the soft deadline of "
+                << fmt_double(deadline_, 0)
+                << "s; journaling a timeout marker\n";
+      if (journal_ == nullptr) continue;
+      JournalRecord rec;
+      rec.type = JournalRecord::Type::kTimeout;
+      rec.depth_index = static_cast<std::uint32_t>(f.depth_index);
+      rec.block_begin = static_cast<std::uint32_t>(f.i0);
+      rec.block_end = static_cast<std::uint32_t>(f.i1);
+      try {
+        journal_->append(rec);
+      } catch (...) {
+        // The marker is advisory; never fail the sweep over it.
+      }
+    }
+  }
+
+  const bool progress_;
   const std::size_t total_;
+  const double deadline_;
+  JournalWriter* const journal_;
   std::atomic<std::size_t> done_{0};
   Stopwatch watch_;
   std::mutex mu_;
   std::condition_variable cv_;
+  std::map<std::size_t, InFlight> inflight_;
   bool stop_ = false;
+  bool final_printed_ = false;
   std::thread watcher_;
 };
 
@@ -105,164 +360,201 @@ const SweepPoint& SweepResult::at(int depth, double rate_percent) const {
 
 SweepResult run_sweep(const SweepConfig& config,
                       const std::vector<ArithInstance>& instances) {
+  return run_sweep_durable(config, instances, DurableOptions{});
+}
+
+SweepResult run_sweep_durable(const SweepConfig& config,
+                              const std::vector<ArithInstance>& instances,
+                              const DurableOptions& durable) {
   QFAB_CHECK(!config.depths.empty());
   QFAB_CHECK(!instances.empty());
   Stopwatch watch;
 
-  const std::vector<double> rates = config.expanded_rates();
+  SweepContext sc{config, instances};
+  sc.rates = config.expanded_rates();
   const std::size_t n_depths = config.depths.size();
-  const std::size_t n_rates = rates.size();
+  const std::size_t n_rates = sc.rates.size();
   const std::size_t n_inst = instances.size();
-
-  // outcomes[depth][rate][instance]
-  std::vector<std::vector<std::vector<InstanceOutcome>>> outcomes(
-      n_depths, std::vector<std::vector<InstanceOutcome>>(
-                    n_rates, std::vector<InstanceOutcome>(n_inst)));
-
-  // Transpile and compile the execution plan once per depth (cheap next to
-  // simulation, but shared by every instance and trajectory).
-  std::vector<QuantumCircuit> circuits;
-  std::vector<std::shared_ptr<const FusedPlan>> plans;
-  circuits.reserve(n_depths);
-  plans.reserve(n_depths);
-  for (int depth : config.depths) {
-    CircuitSpec spec = config.base;
-    spec.depth = depth;
-    circuits.push_back(build_transpiled_circuit(spec));
-    plans.push_back(std::make_shared<const FusedPlan>(circuits.back()));
-  }
-
-  auto make_noise = [&](std::size_t r) {
-    NoiseModel noise;
-    (config.vary_2q ? noise.p2q : noise.p1q) = rates[r] / 100.0;
-    noise.noisy_rz = config.run.noisy_rz;
-    noise.noisy_id = config.run.noisy_id;
-    return noise;
-  };
 
   // The positive-rate columns form one shared-trajectory cluster per
   // (instance, depth): sampled once from the proposal rate and reweighted
   // per column. Zero-rate columns (the noise-free cluster) stay on the
   // per-rate path, which short-circuits to the ideal marginal anyway.
-  std::vector<std::size_t> cluster;
   for (std::size_t r = 0; r < n_rates; ++r)
-    if (rates[r] > 0.0) cluster.push_back(r);
-  const bool use_shared = config.run.shared_trajectories &&
-                          !config.run.per_shot && !cluster.empty();
-  SharedEstimateStats shared_stats;
-  std::mutex shared_stats_mu;
-  auto merge_stats = [&](const SharedEstimateStats& local) {
-    if (!use_shared) return;
-    const std::lock_guard<std::mutex> lock(shared_stats_mu);
-    shared_stats.merge(local);
-  };
+    if (sc.rates[r] > 0.0) sc.cluster.push_back(r);
+  sc.use_shared = config.run.shared_trajectories && !config.run.per_shot &&
+                  !sc.cluster.empty();
 
-  ProgressMeter progress(config.progress, n_inst * n_depths);
+  // Work-unit granularity: an (instance-block, depth) pair covering every
+  // rate column — the smallest piece whose results are self-contained,
+  // because the shared estimator computes whole rate clusters and the
+  // batched engine advances whole instance groups. The final block is
+  // ragged when n_inst % block != 0. Unit u = group * n_depths + depth.
   const int lanes = std::clamp(config.run.batch_lanes, 1,
                                BatchedStateVector::kMaxLanes);
-  if (lanes > 1 && !config.run.per_shot) {
-    // Batched path: groups of up to `lanes` instances share each ideal run
-    // (one fused-plan pass for the whole group), and each instance's error
-    // trajectories batch again inside evaluate. The final group is ragged
-    // when n_inst % lanes != 0. Every point still draws from
-    // point_rng(seed, i, d, r), so results are independent of grouping and
-    // identical in distribution to the scalar path.
-    const std::size_t B = static_cast<std::size_t>(lanes);
-    const std::size_t n_groups = (n_inst + B - 1) / B;
-    parallel_for_chunked(0, n_groups, [&](std::size_t glo, std::size_t ghi) {
-      SharedEstimateStats local_stats;
-      for (std::size_t g = glo; g < ghi; ++g) {
-        const std::size_t i0 = g * B;
-        const std::size_t i1 = std::min(i0 + B, n_inst);
-        const std::vector<ArithInstance> group(instances.begin() + i0,
-                                               instances.begin() + i1);
-        for (std::size_t d = 0; d < n_depths; ++d) {
-          CircuitSpec spec = config.base;
-          spec.depth = config.depths[d];
-          const InstanceBatch batch(circuits[d], spec, group, config.run,
-                                    plans[d]);
-          for (std::size_t r = 0; r < n_rates; ++r) {
-            if (use_shared && rates[r] > 0.0) continue;
-            std::vector<Pcg64> rngs;
-            rngs.reserve(group.size());
-            for (std::size_t m = 0; m < group.size(); ++m)
-              rngs.push_back(point_rng(config.seed, i0 + m, d, r));
-            const std::vector<InstanceOutcome> results =
-                batch.evaluate_all(make_noise(r), config.run, rngs);
-            for (std::size_t m = 0; m < group.size(); ++m)
-              outcomes[d][r][i0 + m] = results[m];
-          }
-          if (use_shared) {
-            std::vector<NoiseModel> noises;
-            std::vector<std::vector<Pcg64>> rngs(cluster.size());
-            noises.reserve(cluster.size());
-            for (std::size_t c = 0; c < cluster.size(); ++c) {
-              noises.push_back(make_noise(cluster[c]));
-              rngs[c].reserve(group.size());
-              for (std::size_t m = 0; m < group.size(); ++m)
-                rngs[c].push_back(point_rng(config.seed, i0 + m, d, cluster[c]));
-            }
-            const std::vector<std::vector<InstanceOutcome>> results =
-                batch.evaluate_all_rates(noises, config.run, rngs,
-                                         &local_stats);
-            for (std::size_t c = 0; c < cluster.size(); ++c)
-              for (std::size_t m = 0; m < group.size(); ++m)
-                outcomes[d][cluster[c]][i0 + m] = results[c][m];
-          }
-          progress.add(i1 - i0);
-        }
-      }
-      merge_stats(local_stats);
-    });
-  } else {
-    parallel_for_chunked(0, n_inst, [&](std::size_t lo, std::size_t hi) {
-      SharedEstimateStats local_stats;
-      for (std::size_t i = lo; i < hi; ++i) {
-        for (std::size_t d = 0; d < n_depths; ++d) {
-          CircuitSpec spec = config.base;
-          spec.depth = config.depths[d];
-          // One ideal run (with checkpoints) serves every rate cluster.
-          const InstanceContext context(circuits[d], spec, instances[i],
-                                        config.run, plans[d]);
-          for (std::size_t r = 0; r < n_rates; ++r) {
-            if (use_shared && rates[r] > 0.0) continue;
-            Pcg64 rng = point_rng(config.seed, i, d, r);
-            outcomes[d][r][i] = context.evaluate(make_noise(r), config.run, rng);
-          }
-          if (use_shared) {
-            std::vector<NoiseModel> noises;
-            std::vector<Pcg64> rngs;
-            noises.reserve(cluster.size());
-            rngs.reserve(cluster.size());
-            for (std::size_t r : cluster) {
-              noises.push_back(make_noise(r));
-              rngs.push_back(point_rng(config.seed, i, d, r));
-            }
-            const std::vector<InstanceOutcome> results =
-                context.evaluate_rates(noises, config.run, rngs, &local_stats);
-            for (std::size_t c = 0; c < cluster.size(); ++c)
-              outcomes[d][cluster[c]][i] = results[c];
-          }
-          progress.add(1);
-        }
-      }
-      merge_stats(local_stats);
-    });
+  sc.block = (lanes > 1 && !config.run.per_shot)
+                 ? static_cast<std::size_t>(lanes)
+                 : 1;
+  const std::size_t n_groups = (n_inst + sc.block - 1) / sc.block;
+  const std::size_t n_units = n_groups * n_depths;
+
+  // Transpile and compile the execution plan once per depth (cheap next to
+  // simulation, but shared by every instance and trajectory).
+  sc.circuits.reserve(n_depths);
+  sc.plans.reserve(n_depths);
+  for (int depth : config.depths) {
+    CircuitSpec spec = config.base;
+    spec.depth = depth;
+    sc.circuits.push_back(build_transpiled_circuit(spec));
+    sc.plans.push_back(std::make_shared<const FusedPlan>(sc.circuits.back()));
   }
-  progress.finish();
+  sc.nonfused.assign(n_depths, nullptr);
+
+  // outcomes[depth][rate][instance]
+  std::vector<std::vector<std::vector<InstanceOutcome>>> outcomes(
+      n_depths, std::vector<std::vector<InstanceOutcome>>(
+                    n_rates, std::vector<InstanceOutcome>(n_inst)));
+  std::vector<SharedEstimateStats> unit_stats(n_units);
+  std::vector<std::string> unit_error(n_units);
+  std::vector<char> unit_done(n_units, 0);
+  std::size_t restored = 0;
+  std::size_t restored_members = 0;
+
+  std::unique_ptr<JournalWriter> journal;
+  if (!durable.journal_path.empty()) {
+    const std::uint64_t fp = sweep_fingerprint(config, instances);
+    bool fresh = true;
+    if (durable.resume) {
+      const JournalContents contents = read_journal(durable.journal_path);
+      if (contents.header_ok) {
+        QFAB_CHECK_MSG(
+            contents.fingerprint == fp,
+            "journal " << durable.journal_path
+                       << " was written by a different sweep configuration "
+                          "(fingerprint mismatch); refusing to resume");
+        if (contents.dropped_tail) {
+          std::cerr << "[qfab] " << durable.journal_path << ": "
+                    << contents.note << "; dropped the damaged tail, kept "
+                    << contents.records.size() << " record(s)\n";
+          rewrite_journal(durable.journal_path, contents);
+        }
+        for (const JournalRecord& rec : contents.records) {
+          if (rec.type == JournalRecord::Type::kTimeout) continue;
+          const std::size_t d = rec.depth_index;
+          const std::size_t i0 = rec.block_begin;
+          const std::size_t i1 = rec.block_end;
+          const bool fits =
+              d < n_depths && i0 < n_inst && i0 % sc.block == 0 &&
+              i1 == std::min(i0 + sc.block, n_inst) &&
+              rec.outcomes.size() == n_rates &&
+              std::all_of(rec.outcomes.begin(), rec.outcomes.end(),
+                          [&](const std::vector<InstanceOutcome>& row) {
+                            return row.size() == i1 - i0;
+                          });
+          if (!fits) {
+            // Should be unreachable behind the fingerprint check; skipping
+            // (instead of trusting bad indices) keeps resume safe anyway.
+            std::cerr << "[qfab] " << durable.journal_path
+                      << ": skipped a record that does not fit the sweep "
+                         "grid\n";
+            continue;
+          }
+          const std::size_t u = (i0 / sc.block) * n_depths + d;
+          for (std::size_t r = 0; r < n_rates; ++r)
+            for (std::size_t m = 0; m < i1 - i0; ++m)
+              outcomes[d][r][i0 + m] = rec.outcomes[r][m];
+          unit_stats[u] = rec.stats;
+          unit_error[u] =
+              rec.type == JournalRecord::Type::kPoisoned ? rec.error : "";
+          if (!unit_done[u]) {
+            ++restored;
+            restored_members += i1 - i0;
+          }
+          unit_done[u] = 1;
+        }
+        fresh = false;
+      } else if (!contents.note.empty()) {
+        std::cerr << "[qfab] " << durable.journal_path << ": "
+                  << contents.note << "; starting a fresh journal\n";
+      }
+    }
+    journal =
+        std::make_unique<JournalWriter>(durable.journal_path, fp, fresh);
+  }
+
+  std::vector<std::size_t> pending;
+  pending.reserve(n_units);
+  for (std::size_t u = 0; u < n_units; ++u)
+    if (!unit_done[u]) pending.push_back(u);
+
+  SweepMonitor monitor(config.progress, n_inst * n_depths,
+                       durable.unit_deadline_seconds, journal.get());
+  monitor.add(restored_members);
+  std::atomic<std::size_t> retried{0};
+
+  parallel_for_chunked(0, pending.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      // Drain: stop claiming new units; units already running elsewhere
+      // finish and journal normally.
+      if (shutdown_requested()) return;
+      const std::size_t u = pending[k];
+      const std::size_t d = u % n_depths;
+      const std::size_t i0 = (u / n_depths) * sc.block;
+      const std::size_t i1 = std::min(i0 + sc.block, n_inst);
+      monitor.unit_started(u, d, i0, i1);
+      UnitOut out = run_unit(sc, d, i0, i1);
+      monitor.unit_finished(u);
+      if (out.retried) retried.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t r = 0; r < n_rates; ++r)
+        for (std::size_t m = 0; m < i1 - i0; ++m)
+          outcomes[d][r][i0 + m] = out.outcomes[r][m];
+      unit_stats[u] = out.stats;
+      unit_error[u] = out.error;
+      unit_done[u] = 1;
+      if (journal) {
+        JournalRecord rec;
+        rec.type = out.poisoned ? JournalRecord::Type::kPoisoned
+                                : JournalRecord::Type::kUnit;
+        rec.depth_index = static_cast<std::uint32_t>(d);
+        rec.block_begin = static_cast<std::uint32_t>(i0);
+        rec.block_end = static_cast<std::uint32_t>(i1);
+        rec.outcomes = std::move(out.outcomes);
+        rec.stats = out.stats;
+        rec.error = out.error;
+        journal->append(rec);
+      }
+      monitor.add(i1 - i0);
+    }
+  });
+  monitor.finish();
 
   SweepResult result;
   result.config = config;
   result.config.instances = static_cast<int>(n_inst);
-  result.shared_stats = shared_stats;
-  for (std::size_t d = 0; d < n_depths; ++d)
-    for (std::size_t r = 0; r < n_rates; ++r) {
-      SweepPoint point;
-      point.depth = config.depths[d];
-      point.rate_percent = rates[r];
-      point.stats = aggregate_outcomes(outcomes[d][r]);
-      result.points.push_back(point);
-    }
+  result.units_total = n_units;
+  result.units_done = static_cast<std::size_t>(
+      std::count(unit_done.begin(), unit_done.end(), char(1)));
+  result.units_restored = restored;
+  result.units_retried = retried.load(std::memory_order_relaxed);
+  result.complete = result.units_done == n_units;
+  for (std::size_t u = 0; u < n_units; ++u)
+    if (unit_done[u] && !unit_error[u].empty())
+      result.unit_errors.push_back(unit_error[u]);
+  if (result.complete) {
+    // Deterministic stats aggregation: merge in unit order so the float
+    // sums are identical run-to-run (and across interrupt/resume), not
+    // dependent on worker scheduling.
+    for (std::size_t u = 0; u < n_units; ++u)
+      result.shared_stats.merge(unit_stats[u]);
+    for (std::size_t d = 0; d < n_depths; ++d)
+      for (std::size_t r = 0; r < n_rates; ++r) {
+        SweepPoint point;
+        point.depth = config.depths[d];
+        point.rate_percent = sc.rates[r];
+        point.stats = aggregate_outcomes(outcomes[d][r]);
+        result.points.push_back(point);
+      }
+  }
   result.seconds = watch.seconds();
   return result;
 }
@@ -303,6 +595,11 @@ void print_sweep(std::ostream& os, const SweepResult& result,
                                                       : " mode=stratified"))
      << " seed=" << result.config.seed << " ("
      << fmt_double(result.seconds, 1) << " s)\n";
+  if (result.units_restored > 0)
+    os << "  resumed: " << result.units_restored << '/' << result.units_total
+       << " work units restored from the checkpoint journal\n";
+  for (const std::string& err : result.unit_errors)
+    os << "  WARNING poisoned unit: " << err << '\n';
   os << "  cells: success% [-lower/+upper error-bar instance flips]\n";
   sweep_table(result).print(os);
   os << '\n';

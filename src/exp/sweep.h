@@ -45,13 +45,60 @@ struct SweepResult {
   /// zeros when run.shared_trajectories is off or per_shot is on).
   SharedEstimateStats shared_stats;
 
+  /// False when a drain request (common/shutdown.h) stopped the sweep
+  /// before every work unit ran: `points` is then empty and the journal (if
+  /// any) holds everything needed to resume.
+  bool complete = true;
+  /// Work units — (instance-block, depth) pairs covering all rate columns —
+  /// in this sweep, how many finished, and how many of those were restored
+  /// from the checkpoint journal instead of recomputed.
+  std::size_t units_total = 0;
+  std::size_t units_done = 0;
+  std::size_t units_restored = 0;
+  /// Units whose numerical-health sentinel tripped but whose scalar
+  /// non-fused retry succeeded (see DurableOptions / RunOptions::health_checks).
+  std::size_t units_retried = 0;
+  /// Human-readable descriptions of persistently poisoned units (sentinel
+  /// tripped on the retry too); their failed members count as failures in
+  /// `points`. Empty on a healthy sweep.
+  std::vector<std::string> unit_errors;
+
   const SweepPoint& at(int depth, double rate_percent) const;
+};
+
+/// Durability knobs for run_sweep_durable. Default-constructed options mean
+/// "no journal": the sweep still drains gracefully on SIGINT/SIGTERM but
+/// nothing is checkpointed.
+struct DurableOptions {
+  /// Checkpoint journal path (exp/journal.h). Empty = no journal.
+  std::string journal_path;
+  /// Resume from an existing journal: restore its completed units and only
+  /// compute the rest. The journal's config fingerprint must match (a
+  /// mismatch is a hard error — resuming a different configuration would
+  /// silently mix results). Without `resume`, an existing journal is
+  /// truncated and the sweep starts fresh.
+  bool resume = false;
+  /// Soft per-unit deadline in seconds (0 = off). A unit exceeding it is
+  /// logged and a timeout marker is journaled so an operator inspecting the
+  /// journal can see where a run wedged; the unit keeps running (simulation
+  /// work is not preemptible) and a later completion record supersedes the
+  /// marker.
+  double unit_deadline_seconds = 0.0;
 };
 
 /// Run a sweep on a fixed operand set (generate via generate_instances with
 /// the row seed so both error-rate columns see identical operands).
+/// Equivalent to run_sweep_durable with default DurableOptions.
 SweepResult run_sweep(const SweepConfig& config,
                       const std::vector<ArithInstance>& instances);
+
+/// run_sweep with durability: checkpoint journaling, resume, graceful
+/// drain, and numerical-health retry. Point results are bit-identical to
+/// run_sweep's regardless of interruption/resume history (deterministic
+/// per-point RNG streams; see exp/journal.h).
+SweepResult run_sweep_durable(const SweepConfig& config,
+                              const std::vector<ArithInstance>& instances,
+                              const DurableOptions& durable);
 
 /// Render a panel: one row per rate cluster, one column per depth, cells
 /// "succ% s=σ [-lo/+hi]" (error bars as instance counts, as in the paper).

@@ -166,6 +166,10 @@ class BatchedCleanRun {
   /// Lane's state after the full circuit (lane pending phase folded in;
   /// circuit global phase NOT applied, mirroring CleanRun::final_state).
   StateVector lane_final_state(int lane) const;
+  /// All lanes' final states, batched, without extraction (lane pending
+  /// phases not folded in — norms are phase-invariant, which is what the
+  /// health sentinels need this for).
+  const BatchedStateVector& final_states() const { return checkpoints_.back(); }
   /// Ideal output distribution of `qubits` for one lane.
   std::vector<double> lane_ideal_marginal(int lane,
                                           const std::vector<int>& qubits) const;

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/bits.h"
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace qfab {
 
@@ -499,12 +501,22 @@ void apply_gates_batched(const FusedPlan& plan, BatchedStateVector& bsv,
   }
 }
 
+// QFAB_FAULT nan-at-gate hook, batched counterpart of the one in
+// fusion.cpp: after a pass that executed the targeted gate, poison lane 0's
+// first amplitude with a quiet NaN. Inert without the env directive.
+void maybe_inject_nan(BatchedStateVector& bsv, std::size_t gate_begin,
+                      std::size_t gate_end) {
+  if (fault::nan_fault_active() && fault::take_nan_charge(gate_begin, gate_end))
+    bsv.re()[0] = std::numeric_limits<double>::quiet_NaN();
+}
+
 }  // namespace
 
 void apply_plan(const FusedPlan& plan, BatchedStateVector& bsv) {
   QFAB_CHECK(bsv.num_qubits() == plan.circuit().num_qubits());
   apply_ops_batched(plan, bsv, 0, plan.op_count());
   bsv.apply_global_phase(plan.circuit().global_phase());
+  maybe_inject_nan(bsv, 0, plan.gate_count());
 }
 
 void apply_plan_range(const FusedPlan& plan, BatchedStateVector& bsv,
@@ -538,6 +550,7 @@ void apply_plan_range(const FusedPlan& plan, BatchedStateVector& bsv,
       g = stop;
     }
   }
+  maybe_inject_nan(bsv, gate_begin, gate_end);
 }
 
 }  // namespace qfab

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <limits>
 #include <mutex>
 #include <unordered_map>
+
+#include "common/fault.h"
 
 namespace qfab {
 
@@ -732,10 +735,25 @@ void FusedPlan::compile() {
       op_of_gate_[g] = static_cast<std::uint32_t>(o);
 }
 
+namespace {
+
+// QFAB_FAULT nan-at-gate hook: after a pass that executed the targeted
+// gate, poison one amplitude with a quiet NaN. Exercises the numerical
+// health sentinels end to end (exp/experiment.cpp); inert without the env
+// directive.
+void maybe_inject_nan(StateVector& sv, std::size_t gate_begin,
+                      std::size_t gate_end) {
+  if (fault::nan_fault_active() && fault::take_nan_charge(gate_begin, gate_end))
+    sv.raw_amplitudes()[0] = cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+}
+
+}  // namespace
+
 void FusedPlan::apply(StateVector& sv) const {
   QFAB_CHECK(sv.num_qubits() == circuit_.num_qubits());
   apply_ops(sv, 0, ops_.size());
   sv.apply_global_phase(circuit_.global_phase());
+  maybe_inject_nan(sv, 0, gate_count());
 }
 
 void FusedPlan::apply_range(StateVector& sv, std::size_t gate_begin,
@@ -760,6 +778,7 @@ void FusedPlan::apply_range(StateVector& sv, std::size_t gate_begin,
       g = stop;
     }
   }
+  maybe_inject_nan(sv, gate_begin, gate_end);
 }
 
 void FusedPlan::apply_ops(StateVector& sv, std::size_t op_lo,

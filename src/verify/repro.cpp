@@ -6,6 +6,7 @@
 
 #include "circuit/qasm.h"
 #include "common/check.h"
+#include "common/io.h"
 #include "sim/batch.h"
 
 namespace qfab::verify {
@@ -23,8 +24,9 @@ std::string write_repro(const std::string& dir, const VerifyCase& c,
   name << "seed" << c.root_seed << "_case" << c.index << ".qasm";
   const std::string path = (std::filesystem::path(dir) / name.str()).string();
 
-  std::ofstream out(path);
-  QFAB_CHECK_MSG(out.good(), "cannot write repro file " << path);
+  // Atomic tmp+fsync+rename: an interrupted verifier never leaves a
+  // half-written repro that a later triage run would trip over.
+  std::ostringstream out;
   out.precision(17);
   out << kMagic << '\n';
   out << "// seed=" << c.root_seed << " case=" << c.index << '\n';
@@ -35,7 +37,7 @@ std::string write_repro(const std::string& dir, const VerifyCase& c,
     if (ch == '\n') ch = ' ';
   out << "// failure=" << summary << '\n';
   out << to_qasm(c.circuit);
-  QFAB_CHECK_MSG(out.good(), "short write to repro file " << path);
+  atomic_write_file(path, out.str());
   return path;
 }
 

@@ -1,13 +1,19 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "common/bits.h"
 #include "common/cli.h"
+#include "common/io.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -481,6 +487,37 @@ TEST(Table, Formatters) {
   EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_percent(0.5, 1), "50.0");
   EXPECT_EQ(fmt_percent(1.0, 0), "100");
+}
+
+// ---------- io ----------
+
+TEST(Io, AtomicWriteFileReplacesWholeContents) {
+  const std::string path =
+      "test_common_atomic_" + std::to_string(static_cast<long>(::getpid()));
+  atomic_write_file(path, "first\n");
+  atomic_write_file(path, "second, longer than the first\n");
+  std::ifstream in(path);
+  std::stringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), "second, longer than the first\n");
+  // No stray tmp file left next to the target.
+  EXPECT_FALSE(std::filesystem::exists(
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()))));
+  std::filesystem::remove(path);
+}
+
+TEST(Io, AtomicWriteFileRejectsUnwritableDirectory) {
+  EXPECT_THROW(atomic_write_file("no_such_dir_zzz/out.txt", "x"), CheckError);
+}
+
+TEST(Io, Crc32KnownVectors) {
+  // IEEE 802.3 check value for "123456789".
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+  // Seeding lets a frame be checksummed in pieces.
+  const std::uint32_t head = crc32(digits, 4);
+  EXPECT_EQ(crc32(digits + 4, 5, head), 0xCBF43926u);
 }
 
 }  // namespace

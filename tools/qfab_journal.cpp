@@ -1,0 +1,105 @@
+// Sweep checkpoint-journal inspection and repair CLI.
+//
+//   tools/qfab_journal results/fig1_1to1_1q.journal
+//       print the journal's header status, config fingerprint, record
+//       counts by type, and whether a damaged tail was dropped.
+//   tools/qfab_journal results/fig1_1to1_1q.journal --records
+//       additionally list every record's (depth_index, instance block).
+//   tools/qfab_journal results/fig1_1to1_1q.journal --repair
+//       rewrite the file to its valid prefix (atomic tmp+fsync+rename),
+//       discarding a torn or corrupt tail so the next --resume does not
+//       have to.
+//
+// Exit codes: 0 = journal readable (possibly after --repair), 1 = header
+// missing/unrecognizable, 2 = usage error.
+//
+// See DESIGN.md §10 for the journal format.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "exp/journal.h"
+
+int main(int argc, char** argv) {
+  using namespace qfab;
+
+  std::string path;
+  bool repair = false;
+  bool records = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repair") repair = true;
+    else if (arg == "--records") records = true;
+    else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << "\n"
+                << "usage: qfab_journal <journal> [--records] [--repair]\n";
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "usage: qfab_journal <journal> [--records] [--repair]\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: qfab_journal <journal> [--records] [--repair]\n";
+    return 2;
+  }
+
+  const JournalContents contents = read_journal(path);
+  if (!contents.header_ok) {
+    std::cout << path << ": not a readable sweep journal";
+    if (!contents.note.empty()) std::cout << " (" << contents.note << ")";
+    std::cout << '\n';
+    return 1;
+  }
+
+  std::size_t units = 0, timeouts = 0, poisoned = 0;
+  for (const JournalRecord& rec : contents.records) {
+    switch (rec.type) {
+      case JournalRecord::Type::kUnit: ++units; break;
+      case JournalRecord::Type::kTimeout: ++timeouts; break;
+      case JournalRecord::Type::kPoisoned: ++poisoned; break;
+    }
+  }
+
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(contents.fingerprint));
+  std::cout << path << ":\n"
+            << "  fingerprint  " << fp << '\n'
+            << "  records      " << contents.records.size() << " (" << units
+            << " unit, " << poisoned << " poisoned, " << timeouts
+            << " timeout marker" << (timeouts == 1 ? "" : "s") << ")\n"
+            << "  valid bytes  " << contents.valid_bytes << '\n';
+  if (contents.dropped_tail)
+    std::cout << "  DAMAGED TAIL dropped: " << contents.note << '\n';
+
+  if (records) {
+    for (const JournalRecord& rec : contents.records) {
+      const char* kind = rec.type == JournalRecord::Type::kUnit ? "unit"
+                         : rec.type == JournalRecord::Type::kPoisoned
+                             ? "poisoned"
+                             : "timeout";
+      std::cout << "  " << kind << " depth_index=" << rec.depth_index
+                << " instances=[" << rec.block_begin << ',' << rec.block_end
+                << ')';
+      if (!rec.error.empty()) std::cout << "  error: " << rec.error;
+      std::cout << '\n';
+    }
+  }
+
+  if (repair) {
+    if (contents.dropped_tail) {
+      rewrite_journal(path, contents);
+      std::cout << "  repaired: rewrote the valid prefix ("
+                << contents.records.size() << " record(s))\n";
+    } else {
+      std::cout << "  repair not needed\n";
+    }
+  } else if (contents.dropped_tail) {
+    std::cout << "  (run with --repair to rewrite the valid prefix; "
+                 "--resume does this automatically)\n";
+  }
+  return 0;
+}
