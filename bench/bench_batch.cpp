@@ -3,12 +3,16 @@
 // Times the full per-instance sweep work — ideal run with checkpoints plus
 // a stratified noisy evaluation (12 trajectories, 2048 shots) — for the
 // transpiled QFA(n=8, full depth) and QFM(n=4, full depth) circuits, at
-// batch sizes {1, 4, 8, 16} under both kernel tables (forced scalar and
-// native dispatch). batch=1 is the single-state path the sweeps ran before
-// the batched engine existed, so "speedup_vs_single" tracks the end-to-end
-// win per batch size. Writes machine-readable BENCH_batch.json. Each case
-// also cross-checks the batched channel estimate against the scalar
-// estimator (<= 1e-9).
+// batch sizes --batches={1,4,8,16} under every distinct kernel table the
+// host supports (forced scalar, avx2, avx512) and both replay precisions.
+// batch=1 is the single-state path the sweeps ran before the batched
+// engine existed; "speedup_vs_single" tracks the end-to-end win per batch
+// size against the batch=1 time of the SAME SIMD level (float32 rows share
+// their level's double baseline — the scalar path has no float tier, so
+// that is the honest end-to-end comparison). Writes machine-readable
+// BENCH_batch.json with a "host" metadata block. Each case also
+// cross-checks the batched channel estimate against the scalar estimator
+// (<= 1e-9 in double; float32 at the replay drift tolerance).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/host_info.h"
 #include "common/io.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -31,13 +36,14 @@ namespace {
 struct BenchRow {
   std::string name;
   std::string simd;
+  std::string precision;
   int batch = 0;
   int num_qubits = 0;
   std::size_t gates = 0;
   int instances = 0;
   double point_ms = 0.0;       // one sweep point: all instances, one rate
   double inst_per_sec = 0.0;
-  double speedup_vs_single = 0.0;  // vs batch=1 scalar-table baseline
+  double speedup_vs_single = 0.0;  // vs batch=1 of the same SIMD level
 };
 
 /// Median-of-reps wall time in milliseconds.
@@ -110,15 +116,26 @@ void cross_check(const Case& c, const QuantumCircuit& qc,
     dev = std::max(dev, std::abs(scalar[i] - batched[i]));
   QFAB_CHECK_MSG(dev < 1e-9,
                  c.name << ": batched estimator deviates " << dev);
+  est.precision = Precision::kFloat32;
+  Pcg64 rng_f(42, 1);
+  const auto f32 =
+      estimate_channel_marginal_batched(clean, errors, out_q, est, 8, rng_f);
+  dev = 0.0;
+  for (std::size_t i = 0; i < scalar.size(); ++i)
+    dev = std::max(dev, std::abs(scalar[i] - f32[i]));
+  QFAB_CHECK_MSG(dev < 1e-4,
+                 c.name << ": float32 estimator deviates " << dev);
 }
 
 void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
   std::ostringstream out;
-  out << "{\n  \"benchmark\": \"batch\",\n  \"cases\": [\n";
+  out << "{\n  \"benchmark\": \"batch\",\n  \"host\": "
+      << host_info_json(simd_mode_name()) << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     out << "    {\"name\": \"" << r.name << "\""
         << ", \"simd\": \"" << r.simd << "\""
+        << ", \"precision\": \"" << r.precision << "\""
         << ", \"batch\": " << r.batch
         << ", \"num_qubits\": " << r.num_qubits
         << ", \"gates\": " << r.gates
@@ -136,8 +153,16 @@ int run(int argc, const char* const* argv) {
   CliFlags flags(argc, argv);
   const int reps = static_cast<int>(flags.get_int("reps", 3));
   const int n_inst = static_cast<int>(flags.get_int("instances", 16));
+  const std::vector<long> batches =
+      flags.get_int_list("batches", {1, 4, 8, 16});
   const std::string out_path = flags.get_string("out", "BENCH_batch.json");
   if (!flags.validate()) return 1;
+  for (long b : batches) {
+    if (b >= 1 && b <= BatchedStateVector::kMaxLanes) continue;
+    std::cerr << "--batches entries must be in [1, "
+              << BatchedStateVector::kMaxLanes << "] (got " << b << ")\n";
+    return 1;
+  }
 
   std::vector<Case> cases;
   {
@@ -168,35 +193,52 @@ int run(int argc, const char* const* argv) {
     RunOptions check_run;
     cross_check(c, qc, plan, instances.front(), noise, check_run);
 
-    double single_ms = 0.0;  // batch=1 under the scalar table
-    for (SimdMode mode : {SimdMode::kScalar, SimdMode::kAuto}) {
+    // Every distinct kernel table the host resolves: forcing an
+    // unsupported level degrades to the next one down, so duplicates are
+    // skipped by resolved name.
+    std::vector<std::string> seen_levels;
+    for (SimdMode mode :
+         {SimdMode::kScalar, SimdMode::kAvx2, SimdMode::kAvx512}) {
       set_simd_mode(mode);
-      for (int batch : {1, 4, 8, 16}) {
-        RunOptions run;
-        run.batch_lanes = batch;
-        const double ms = time_ms(
-            [&] { run_point(c, qc, plan, instances, noise, run); }, reps);
-        BenchRow row;
-        row.name = c.name;
-        row.simd = simd_mode_name();
-        row.batch = batch;
-        row.num_qubits = qc.num_qubits();
-        row.gates = qc.gates().size();
-        row.instances = n_inst;
-        row.point_ms = ms;
-        row.inst_per_sec = static_cast<double>(n_inst) / (ms / 1e3);
-        if (mode == SimdMode::kScalar && batch == 1) single_ms = ms;
-        row.speedup_vs_single = single_ms / ms;
-        rows.push_back(row);
+      const std::string level = simd_mode_name();
+      if (std::find(seen_levels.begin(), seen_levels.end(), level) !=
+          seen_levels.end())
+        continue;
+      seen_levels.push_back(level);
+      double single_ms = 0.0;  // batch=1 at THIS SIMD level
+      for (Precision precision : {Precision::kDouble, Precision::kFloat32}) {
+        for (long batch : batches) {
+          // batch=1 runs the scalar single-state path, which has no float
+          // tier — one double row covers it.
+          if (precision == Precision::kFloat32 && batch <= 1) continue;
+          RunOptions run;
+          run.batch_lanes = static_cast<int>(batch);
+          run.precision = precision;
+          const double ms = time_ms(
+              [&] { run_point(c, qc, plan, instances, noise, run); }, reps);
+          BenchRow row;
+          row.name = c.name;
+          row.simd = level;
+          row.precision = precision_name(precision);
+          row.batch = static_cast<int>(batch);
+          row.num_qubits = qc.num_qubits();
+          row.gates = qc.gates().size();
+          row.instances = n_inst;
+          row.point_ms = ms;
+          row.inst_per_sec = static_cast<double>(n_inst) / (ms / 1e3);
+          if (precision == Precision::kDouble && batch == 1) single_ms = ms;
+          row.speedup_vs_single = single_ms > 0.0 ? single_ms / ms : 0.0;
+          rows.push_back(row);
+        }
       }
     }
     set_simd_mode(SimdMode::kAuto);
   }
 
-  TextTable table({"case", "simd", "batch", "gates", "point_ms",
+  TextTable table({"case", "simd", "precision", "batch", "gates", "point_ms",
                    "inst/sec", "speedup"});
   for (const BenchRow& r : rows)
-    table.add_row({r.name, r.simd, std::to_string(r.batch),
+    table.add_row({r.name, r.simd, r.precision, std::to_string(r.batch),
                    std::to_string(r.gates), fmt_double(r.point_ms, 1),
                    fmt_double(r.inst_per_sec, 1),
                    fmt_double(r.speedup_vs_single, 2)});

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/host_info.h"
 #include "common/io.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -97,7 +98,8 @@ BenchRow run_case(const std::string& name, const CircuitSpec& spec,
 
 void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
   std::ostringstream out;
-  out << "{\n  \"benchmark\": \"fusion\",\n  \"cases\": [\n";
+  out << "{\n  \"benchmark\": \"fusion\",\n  \"host\": "
+      << host_info_json(simd_mode_name()) << ",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const BenchRow& r = rows[i];
     out << "    {\"name\": \"" << r.name << "\""

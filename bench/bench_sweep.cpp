@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/host_info.h"
 #include "common/io.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -74,6 +75,7 @@ void write_json(const std::vector<BenchRow>& rows, const SweepConfig& config,
           ? stats.ess_fraction_sum / static_cast<double>(stats.ess_fraction_count)
           : 1.0;
   out << "{\n  \"benchmark\": \"sweep\",\n"
+      << "  \"host\": " << host_info_json(simd_mode_name()) << ",\n"
       << "  \"panel\": {\"op\": \"qfa\", \"n\": " << config.base.n
       << ", \"depths\": " << config.depths.size()
       << ", \"rates\": " << config.rates_percent.size()

@@ -16,6 +16,19 @@ std::vector<long> default_depths_qfa() { return {1, 2, 3, 4, kFullDepth}; }
 
 std::vector<long> default_depths_qfm() { return {1, 2, 3, kFullDepth}; }
 
+bool parse_precision_name(const std::string& name, Precision& out) {
+  if (name == "double") {
+    out = Precision::kDouble;
+  } else if (name == "float32") {
+    out = Precision::kFloat32;
+  } else if (name == "auto") {
+    out = Precision::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 bool parse_scale(const CliFlags& flags, FigureScale& scale,
                  int paper_instances) {
   if (flags.get_bool("paper-scale", false)) {
@@ -46,6 +59,13 @@ bool parse_scale(const CliFlags& flags, FigureScale& scale,
   scale.noisy_rz = !flags.get_bool("rz-noiseless", !scale.noisy_rz);
   scale.measure_all = flags.get_bool("measure-all", scale.measure_all);
   scale.progress = !flags.get_bool("quiet", !scale.progress);
+  const std::string prec =
+      flags.get_string("precision", precision_name(scale.precision));
+  if (!parse_precision_name(prec, scale.precision)) {
+    std::cerr << "--precision must be double, float32, or auto (got " << prec
+              << ")\n";
+    return false;
+  }
   return flags.validate();
 }
 
@@ -91,6 +111,7 @@ bool run_figure_row(const FigureScale& scale, const CircuitSpec& base,
   cfg.run.per_shot = scale.per_shot;
   cfg.run.shared_trajectories = scale.shared_trajectories;
   cfg.run.noisy_rz = scale.noisy_rz;
+  cfg.run.precision = scale.precision;
   cfg.seed = scale.seed;
   cfg.progress = scale.progress;
 
@@ -109,6 +130,7 @@ bool run_figure_row(const FigureScale& scale, const CircuitSpec& base,
       durable.resume = scale.resume;
     }
     durable.unit_deadline_seconds = scale.unit_deadline_seconds;
+    const long fallbacks_before = precision_fallback_count();
     const SweepResult result = run_sweep_durable(cfg, instances, durable);
     if (!result.complete) {
       std::cout << "panel " << row_name << " (" << axis << ") drained after "
@@ -123,6 +145,10 @@ bool run_figure_row(const FigureScale& scale, const CircuitSpec& base,
     print_sweep(std::cout, result,
                 "panel " + row_name + " | varying " + axis + " gate error (" +
                     reference_note + ")");
+    if (scale.precision != Precision::kDouble)
+      std::cout << "  precision=" << precision_name(scale.precision)
+                << " drift-sentinel fallbacks: "
+                << precision_fallback_count() - fallbacks_before << '\n';
     maybe_write_csv(result, scale.csv_prefix, row_name, axis);
     return true;
   };

@@ -31,13 +31,21 @@ struct FigureScale {
   std::string checkpoint;
   bool resume = false;          // --resume: restore journaled units first
   double unit_deadline_seconds = 0.0;  // --unit-deadline: watchdog (s)
+  /// --precision=double|float32|auto: batched replay precision
+  /// (RunOptions::precision). Non-double panels report their drift-
+  /// sentinel fallback count after the sweep table.
+  Precision precision = Precision::kDouble;
 };
+
+/// Map "double" / "float32" / "auto" to a Precision. Returns false on any
+/// other name.
+bool parse_precision_name(const std::string& name, Precision& out);
 
 /// Parse common flags (--instances, --shots, --traj, --per-shot,
 /// --shared-trajectories, --seed, --depths, --rates1q, --rates2q, --csv,
-/// --checkpoint, --resume, --unit-deadline, --paper-scale, --quiet) on top
-/// of the given defaults. Returns false (after printing usage) on bad
-/// flags.
+/// --checkpoint, --resume, --unit-deadline, --precision, --paper-scale,
+/// --quiet) on top of the given defaults. Returns false (after printing
+/// usage) on bad flags.
 bool parse_scale(const CliFlags& flags, FigureScale& scale,
                  int paper_instances);
 

@@ -56,10 +56,54 @@ crash_resume_smoke() {
   echo "== ${name}: crash-resume smoke: resumed CSVs match reference =="
 }
 
+# Bounded batched-throughput smoke against the checked-in baseline: rerun
+# the batch=8 rows of bench_batch and fail if any (case, simd, precision)
+# row's inst_per_sec drops more than 30% below results/BENCH_batch.json.
+# The 30% band plus median-of-reps timing absorbs normal scheduler noise;
+# the baseline is host-specific, so set QFAB_SKIP_PERF=1 on other machines.
+perf_smoke() {
+  local name="$1"
+  local builddir="build-ci-${name}"
+  if [[ "${QFAB_SKIP_PERF:-0}" == "1" ]]; then
+    echo "== ${name}: perf smoke skipped (QFAB_SKIP_PERF=1) =="
+    return
+  fi
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "== ${name}: perf smoke skipped (no python3) =="
+    return
+  fi
+  echo "== ${name}: batched perf smoke (bounded) =="
+  "./${builddir}/bench/bench_batch" --instances 8 --reps 3 --batches 8 \
+    --out "${builddir}/BENCH_batch_smoke.json" >/dev/null
+  python3 - "${builddir}/BENCH_batch_smoke.json" results/BENCH_batch.json <<'PY'
+import json, sys
+smoke = json.load(open(sys.argv[1]))
+ref = json.load(open(sys.argv[2]))
+key = lambda r: (r["name"], r["simd"], r["precision"], r["batch"])
+ref_rows = {key(r): r for r in ref["cases"]}
+worst = None
+for row in smoke["cases"]:
+    base = ref_rows.get(key(row))
+    if base is None:
+        continue
+    ratio = row["inst_per_sec"] / base["inst_per_sec"]
+    if worst is None or ratio < worst[0]:
+        worst = (ratio, key(row))
+    if ratio < 0.7:
+        sys.exit("perf regression: %s: %.1f inst/sec vs baseline %.1f"
+                 " (%.0f%% drop)" % (key(row), row["inst_per_sec"],
+                                     base["inst_per_sec"], 100 * (1 - ratio)))
+if worst is None:
+    sys.exit("perf smoke: no overlapping rows with the baseline")
+print("perf smoke: worst ratio %.2fx at %s" % worst)
+PY
+}
+
 run_preset plain
 echo "== plain: bench_sweep smoke (bounded) =="
 ./build-ci-plain/bench/bench_sweep --instances 4 --traj 6 --shots 256 \
   --reps 1 --out build-ci-plain/BENCH_sweep_smoke.json
+perf_smoke plain
 crash_resume_smoke plain
 QFAB_SIMD=scalar run_preset asan -DQFAB_SANITIZE=address
 QFAB_SIMD=scalar crash_resume_smoke asan

@@ -1,0 +1,93 @@
+#include "common/host_info.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace qfab {
+
+namespace {
+
+std::string read_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+/// sysfs cache sizes are "32K" / "2048K" / "16M"; anything unparsable
+/// yields 0.
+long parse_cache_kib(const std::string& text) {
+  if (text.empty()) return 0;
+  std::size_t pos = 0;
+  long value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + (text[pos] - '0');
+    ++pos;
+  }
+  if (pos == 0) return 0;
+  if (pos < text.size() && (text[pos] == 'M' || text[pos] == 'm'))
+    value *= 1024;
+  return value;
+}
+
+HostInfo probe() {
+  HostInfo info;
+  {
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos ||
+          line.compare(0, 10, "model name") != 0)
+        continue;
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      info.cpu_model = line.substr(start);
+      break;
+    }
+  }
+  // cpu0's cache hierarchy: the data/unified level-2 entry is the per-core
+  // L2, level 3 the shared LLC. Missing sysfs (containers, non-x86) leaves
+  // the sizes at 0.
+  for (int index = 0; index < 10; ++index) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    const std::string level = read_line(base + "/level");
+    if (level.empty()) break;
+    if (read_line(base + "/type") == "Instruction") continue;
+    const long kib = parse_cache_kib(read_line(base + "/size"));
+    if (level == "2")
+      info.l2_kib = kib;
+    else if (level == "3")
+      info.l3_kib = kib;
+  }
+  return info;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(ch) >= 0x20) out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace
+
+const HostInfo& host_info() {
+  static const HostInfo info = probe();
+  return info;
+}
+
+std::string host_info_json(const std::string& simd_level) {
+  const HostInfo& info = host_info();
+  std::ostringstream out;
+  out << "{\"cpu\": \"" << json_escape(info.cpu_model) << "\", \"simd\": \""
+      << json_escape(simd_level) << "\", \"l2_kib\": " << info.l2_kib
+      << ", \"l3_kib\": " << info.l3_kib << "}";
+  return out.str();
+}
+
+}  // namespace qfab

@@ -1,6 +1,8 @@
 #include "exp/experiment.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "sim/invariants.h"
 #include "transpile/transpile.h"
@@ -27,6 +29,14 @@ void check_channel_health(const RunOptions& run,
 }
 
 }  // namespace
+
+Precision resolve_precision(const RunOptions& run, std::size_t gate_count) {
+  if (run.precision != Precision::kAuto) return run.precision;
+  const double predicted = 8.0 * std::numeric_limits<float>::epsilon() *
+                           std::sqrt(static_cast<double>(gate_count));
+  return predicted <= run.float_drift_budget ? Precision::kFloat32
+                                             : Precision::kDouble;
+}
 
 int resolve_rotation_cap(const CircuitSpec& spec) {
   if (spec.max_rotation_order >= 0) return spec.max_rotation_order;
@@ -134,6 +144,8 @@ InstanceOutcome InstanceContext::evaluate(const NoiseModel& noise,
   } else {
     EstimatorOptions est;
     est.error_trajectories = run.error_trajectories;
+    est.precision = resolve_precision(run, clean_.plan().gate_count());
+    est.float_drift_budget = run.float_drift_budget;
     std::vector<double> channel =
         run.batch_lanes > 1
             ? estimate_channel_marginal_batched(clean_, errors, output_qubits_,
@@ -159,6 +171,8 @@ std::vector<InstanceOutcome> InstanceContext::evaluate_rates(
   SharedEstimatorOptions opt;
   opt.error_trajectories = run.error_trajectories;
   opt.min_ess_fraction = run.shared_min_ess;
+  opt.precision = resolve_precision(run, clean_.plan().gate_count());
+  opt.float_drift_budget = run.float_drift_budget;
   std::vector<std::vector<double>> channels = estimate_channel_marginal_shared(
       clean_, errors, output_qubits_, opt, std::max(run.batch_lanes, 1), rngs,
       stats);
@@ -211,6 +225,8 @@ InstanceOutcome InstanceBatch::evaluate(int member, const NoiseModel& noise,
   const ErrorLocations errors(clean_.circuit(), noise);
   EstimatorOptions est;
   est.error_trajectories = run.error_trajectories;
+  est.precision = resolve_precision(run, clean_.plan().gate_count());
+  est.float_drift_budget = run.float_drift_budget;
   std::vector<double> channel = estimate_channel_marginal_batched(
       clean_, member, errors, output_qubits_, est, std::max(run.batch_lanes, 1),
       rng);
@@ -227,6 +243,8 @@ std::vector<InstanceOutcome> InstanceBatch::evaluate_all(
   const ErrorLocations errors(clean_.circuit(), noise);
   EstimatorOptions est;
   est.error_trajectories = run.error_trajectories;
+  est.precision = resolve_precision(run, clean_.plan().gate_count());
+  est.float_drift_budget = run.float_drift_budget;
   std::vector<std::vector<double>> channels =
       estimate_channel_marginals_batched(clean_, errors, output_qubits_, est,
                                          rngs);
@@ -254,6 +272,8 @@ std::vector<std::vector<InstanceOutcome>> InstanceBatch::evaluate_all_rates(
   SharedEstimatorOptions opt;
   opt.error_trajectories = run.error_trajectories;
   opt.min_ess_fraction = run.shared_min_ess;
+  opt.precision = resolve_precision(run, clean_.plan().gate_count());
+  opt.float_drift_budget = run.float_drift_budget;
   std::vector<std::vector<std::vector<double>>> channels =
       estimate_channel_marginals_shared(clean_, errors, output_qubits_, opt,
                                         rngs, stats);

@@ -96,6 +96,15 @@ struct RunOptions {
   /// ESS guard threshold for shared-trajectory columns
   /// (SharedEstimatorOptions::min_ess_fraction).
   double shared_min_ess = 0.25;
+  /// Amplitude precision of batched trajectory replay (Precision in
+  /// sim/batch.h): kDouble is the reference behavior, kFloat32 forces the
+  /// narrow tier, kAuto picks per circuit via resolve_precision(). The
+  /// scalar paths (batch_lanes <= 1, per_shot) always replay in double.
+  Precision precision = Precision::kDouble;
+  /// Drift budget of the float32 replay sentinel
+  /// (EstimatorOptions::float_drift_budget); also the tolerance the kAuto
+  /// policy plans against.
+  double float_drift_budget = 1e-3;
   /// Cheap numerical health sentinels, amortized off the inner loops:
   /// clean-run norm drift at context construction and a probability-simplex
   /// check on every estimated channel before shots are drawn. A violation
@@ -106,6 +115,15 @@ struct RunOptions {
   /// paper's sweeps use none).
   ReadoutError readout;
 };
+
+/// Resolve a RunOptions precision request for a circuit of `gate_count`
+/// transpiled gates. kDouble / kFloat32 pass through. kAuto models the
+/// worst plausible float32 replay drift as ~8·eps_f32·√gate_count (rounding
+/// errors accumulate like a random walk over the gate sequence; the factor
+/// is headroom over the observed constant) and picks float32 whenever that
+/// stays within run.float_drift_budget — deeper circuits choose double up
+/// front instead of paying a sentinel-tripped re-replay on every group.
+Precision resolve_precision(const RunOptions& run, std::size_t gate_count);
 
 /// All noisy-evaluation state shared across error rates for one
 /// (spec, instance) pair: the transpiled circuit's ideal run (with

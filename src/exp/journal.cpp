@@ -237,6 +237,10 @@ std::uint64_t sweep_fingerprint(const SweepConfig& config,
   fp.i64(run.batch_lanes);
   fp.b(run.shared_trajectories);
   fp.f64(run.shared_min_ess);
+  // Replay precision changes outcomes within rounding, so records from a
+  // float32 (or auto) run must not resume a double journal or vice versa.
+  fp.i64(static_cast<std::int64_t>(run.precision));
+  fp.f64(run.float_drift_budget);
   fp.b(run.health_checks);
   fp.f64(run.readout.p01);
   fp.f64(run.readout.p10);

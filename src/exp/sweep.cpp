@@ -189,6 +189,9 @@ UnitOut run_unit(SweepContext& sc, std::size_t d, std::size_t i0,
   out.retried = true;
   RunOptions retry = sc.config.run;
   retry.batch_lanes = 1;
+  // The scalar path replays in double regardless, but pin it so a future
+  // scalar float tier cannot silently weaken the conservative retry.
+  retry.precision = Precision::kDouble;
   const std::shared_ptr<const FusedPlan> plan = sc.nonfused_plan(d);
   for (std::size_t m = 0; m < members; ++m) {
     try {

@@ -13,14 +13,17 @@ namespace qfab {
 namespace {
 
 std::atomic<bool> g_scratch_reuse{true};
+std::atomic<long> g_precision_fallbacks{0};
 
-/// Per-thread replay scratch: the batched state vector, the scalar
-/// trajectory state, and the marginal accumulation buffers that every
-/// estimate would otherwise allocate per replay group. With reuse disabled
-/// (bench ablation) each call gets a fresh local workspace instead.
+/// Per-thread replay scratch: the batched state vectors (one per replay
+/// precision), the scalar trajectory state, and the marginal accumulation
+/// buffers that every estimate would otherwise allocate per replay group.
+/// With reuse disabled (bench ablation) each call gets a fresh local
+/// workspace instead.
 struct ReplayWorkspace {
   StateVector sv{1};
   BatchedStateVector bsv{1, 1};
+  BatchedStateVectorF bsf{1, 1};           // float32 replay tier
   std::vector<std::vector<double>> margs;  // per-lane group marginals
   std::vector<double> acc;                 // lane-minor accumulation plane
   std::vector<double> marg;                // scalar-path marginal
@@ -33,6 +36,55 @@ ReplayWorkspace& replay_workspace(std::unique_ptr<ReplayWorkspace>& local) {
   }
   local = std::make_unique<ReplayWorkspace>();
   return *local;
+}
+
+/// Replay one trajectory group at the requested precision and leave the
+/// per-lane output marginals in ws.margs. `seed` is a generic callback
+/// that loads the group's start states into a batched vector of either
+/// precision (broadcast of one ideal state, or a lane-permuted checkpoint
+/// load).
+///
+/// Float32 groups run the drift sentinel afterwards: every lane's norm² is
+/// the sum of its marginal, so a lane that drifted from 1 beyond the
+/// budget (or went non-finite) is detected without an extra pass. A
+/// tripped sentinel re-replays the whole group in double — bit-for-bit the
+/// double path for these trajectories — and bumps the process-wide
+/// fallback counter. Surviving float32 marginals are normalized per lane:
+/// the residual drift is pure replay rounding, and normalizing keeps every
+/// downstream simplex invariant at double tolerances.
+template <typename Seed>
+void replay_group_marginals(const FusedPlan& plan, std::size_t g0,
+                            const std::vector<std::vector<ErrorEvent>>& events,
+                            const std::vector<int>& output_qubits,
+                            Precision precision, double drift_budget,
+                            ReplayWorkspace& ws, Seed&& seed) {
+  if (precision == Precision::kFloat32) {
+    seed(ws.bsf);
+    run_trajectories_batched(plan, ws.bsf, g0, events);
+    ws.bsf.all_lane_marginal_probabilities(output_qubits, ws.margs, ws.acc);
+    bool ok = true;
+    for (const std::vector<double>& m : ws.margs) {
+      double s = 0.0;
+      for (double v : m) s += v;
+      if (!(std::abs(s - 1.0) <= drift_budget)) {  // catches NaN too
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (std::vector<double>& m : ws.margs) {
+        double s = 0.0;
+        for (double v : m) s += v;
+        const double inv = 1.0 / s;
+        for (double& v : m) v *= inv;
+      }
+      return;
+    }
+    g_precision_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  seed(ws.bsv);
+  run_trajectories_batched(plan, ws.bsv, g0, events);
+  ws.bsv.all_lane_marginal_probabilities(output_qubits, ws.margs, ws.acc);
 }
 
 /// Shared body of the two batched-estimator overloads. `state_at(g)` must
@@ -72,12 +124,15 @@ std::vector<double> channel_marginal_batched_impl(
     // resumes at the earliest such site and the later lanes replay the
     // few extra ideal gates batched.
     const std::size_t g0 = all_events[order[lo]].front().gate_index + 1;
-    ws.bsv.reset(plan.circuit().num_qubits(), lanes);
-    ws.bsv.broadcast(state_at(g0));
     std::vector<std::vector<ErrorEvent>> lane_events(lanes);
     for (int l = 0; l < lanes; ++l) lane_events[l] = all_events[order[lo + l]];
-    run_trajectories_batched(plan, ws.bsv, g0, lane_events);
-    ws.bsv.all_lane_marginal_probabilities(output_qubits, ws.margs, ws.acc);
+    const StateVector start = state_at(g0);  // shared by a double redo
+    replay_group_marginals(plan, g0, lane_events, output_qubits,
+                           options.precision, options.float_drift_budget, ws,
+                           [&](auto& bsv) {
+                             bsv.reset(plan.circuit().num_qubits(), lanes);
+                             bsv.broadcast(start);
+                           });
     for (int l = 0; l < lanes; ++l)
       margs[order[lo + l]] = ws.margs[static_cast<std::size_t>(l)];
   }
@@ -239,6 +294,14 @@ bool estimator_scratch_reuse() {
   return g_scratch_reuse.load(std::memory_order_relaxed);
 }
 
+long precision_fallback_count() {
+  return g_precision_fallbacks.load(std::memory_order_relaxed);
+}
+
+void reset_precision_fallback_count() {
+  g_precision_fallbacks.store(0, std::memory_order_relaxed);
+}
+
 void SharedEstimateStats::merge(const SharedEstimateStats& other) {
   proposal_trajectories += other.proposal_trajectories;
   unique_trajectories += other.unique_trajectories;
@@ -354,9 +417,10 @@ std::vector<std::vector<double>> estimate_channel_marginals_batched(
     // first entry) and later lanes replay the few extra ideal gates
     // batched.
     const std::size_t g0 = pool[lo].site + 1;
-    clean.load_states_at(g0, lane_map, ws.bsv);
-    run_trajectories_batched(clean.plan(), ws.bsv, g0, lane_events);
-    ws.bsv.all_lane_marginal_probabilities(output_qubits, ws.margs, ws.acc);
+    replay_group_marginals(
+        clean.plan(), g0, lane_events, output_qubits, options.precision,
+        options.float_drift_budget, ws,
+        [&](auto& bsv) { clean.load_states_at(g0, lane_map, bsv); });
     for (std::size_t j = 0; j < lanes; ++j)
       margs[pool[lo + j].member][pool[lo + j].t] = ws.margs[j];
   }
@@ -388,7 +452,8 @@ std::vector<std::vector<double>> estimate_channel_marginal_shared(
   QFAB_CHECK(options.error_trajectories >= 1);
   QFAB_CHECK(max_lanes >= 1 && max_lanes <= BatchedStateVector::kMaxLanes);
   const int T = options.error_trajectories;
-  const EstimatorOptions eopt{T};
+  const EstimatorOptions eopt{T, options.precision,
+                              options.float_drift_budget};
   auto per_rate = [&](std::size_t r) {
     return max_lanes > 1
                ? estimate_channel_marginal_batched(clean, rate_errors[r],
@@ -439,14 +504,16 @@ std::vector<std::vector<double>> estimate_channel_marginal_shared(
       const int lanes =
           static_cast<int>(std::min<std::size_t>(max_lanes, U - lo));
       const std::size_t g0 = uniq.events[order[lo]].front().gate_index + 1;
-      ws.bsv.reset(clean.circuit().num_qubits(), lanes);
       clean.state_at(g0, ws.sv);
-      ws.bsv.broadcast(ws.sv);
       std::vector<std::vector<ErrorEvent>> lane_events(lanes);
       for (int l = 0; l < lanes; ++l)
         lane_events[l] = uniq.events[order[lo + static_cast<std::size_t>(l)]];
-      run_trajectories_batched(clean.plan(), ws.bsv, g0, lane_events);
-      ws.bsv.all_lane_marginal_probabilities(output_qubits, ws.margs, ws.acc);
+      replay_group_marginals(clean.plan(), g0, lane_events, output_qubits,
+                             options.precision, options.float_drift_budget, ws,
+                             [&](auto& bsv) {
+                               bsv.reset(clean.circuit().num_qubits(), lanes);
+                               bsv.broadcast(ws.sv);
+                             });
       for (int l = 0; l < lanes; ++l)
         umargs[order[lo + static_cast<std::size_t>(l)]] =
             ws.margs[static_cast<std::size_t>(l)];
@@ -493,7 +560,8 @@ std::vector<std::vector<std::vector<double>>> estimate_channel_marginals_shared(
   for (const std::vector<Pcg64>& r : rngs) QFAB_CHECK(r.size() == L);
   QFAB_CHECK(options.error_trajectories >= 1);
   const int T = options.error_trajectories;
-  const EstimatorOptions eopt{T};
+  const EstimatorOptions eopt{T, options.precision,
+                              options.float_drift_budget};
   if (stats) stats->rate_columns += static_cast<long>(R * L);
 
   // Single-rate cluster: the pooled per-rate estimator outright.
@@ -559,9 +627,10 @@ std::vector<std::vector<std::vector<double>>> estimate_channel_marginals_shared(
       lane_events[j] = uniq[traj.member].events[traj.u];
     }
     const std::size_t g0 = pool[lo].site + 1;
-    clean.load_states_at(g0, lane_map, ws.bsv);
-    run_trajectories_batched(clean.plan(), ws.bsv, g0, lane_events);
-    ws.bsv.all_lane_marginal_probabilities(output_qubits, ws.margs, ws.acc);
+    replay_group_marginals(
+        clean.plan(), g0, lane_events, output_qubits, options.precision,
+        options.float_drift_budget, ws,
+        [&](auto& bsv) { clean.load_states_at(g0, lane_map, bsv); });
     for (std::size_t j = 0; j < lanes; ++j)
       umargs[pool[lo + j].member][pool[lo + j].u] = ws.margs[j];
   }

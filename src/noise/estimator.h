@@ -31,7 +31,25 @@ namespace qfab {
 struct EstimatorOptions {
   /// Trajectories (conditioned on >= 1 error) averaged per estimate.
   int error_trajectories = 12;
+  /// Amplitude precision for batched trajectory replay. Must be resolved
+  /// (kDouble or kFloat32) by the time an estimator runs — kAuto is
+  /// decided upstream by the precision policy in exp/experiment.h. The
+  /// scalar (non-batched) replay path is always double.
+  Precision precision = Precision::kDouble;
+  /// Float32 drift sentinel: after a float32 group replay, any lane whose
+  /// norm² (the sum of its output marginal) drifts from 1 by more than
+  /// this budget causes the whole group to be re-replayed in double —
+  /// bit-for-bit what the double path computes for those trajectories.
+  /// Surviving float32 marginals are normalized per lane, so downstream
+  /// simplex invariants hold at double tolerances. See DESIGN.md §11.
+  double float_drift_budget = 1e-3;
 };
+
+/// Process-wide count of float32 replay groups that tripped the drift
+/// sentinel and were re-replayed in double. Figures report it so a sweep
+/// can assert "zero unexplained fallbacks"; tests reset it.
+long precision_fallback_count();
+void reset_precision_fallback_count();
 
 /// Toggle reuse of the estimators' thread-local replay workspaces (batched
 /// state vector, scalar trajectory state, marginal accumulation buffers).
@@ -52,6 +70,11 @@ struct SharedEstimatorOptions {
   /// reproducible. The proposal column never falls back (its weights are
   /// uniform, ESS = T exactly).
   double min_ess_fraction = 0.25;
+  /// Replay precision and drift sentinel, as in EstimatorOptions (the ESS
+  /// fallback columns inherit both, so fallbacks stay bit-for-bit matches
+  /// of the per-rate path at the same precision).
+  Precision precision = Precision::kDouble;
+  double float_drift_budget = 1e-3;
 };
 
 /// Bookkeeping of one shared-trajectory estimate (merged across a sweep for

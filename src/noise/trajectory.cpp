@@ -297,17 +297,25 @@ BatchedStateVector BatchedCleanRun::states_at(std::size_t gate_count) const {
   return bsv;
 }
 
+template <typename Real>
 void BatchedCleanRun::load_states_at(std::size_t gate_count,
                                      const std::vector<int>& lane_map,
-                                     BatchedStateVector& out) const {
+                                     BatchedStateVectorT<Real>& out) const {
   QFAB_CHECK(gate_count <= plan_->gate_count());
   const std::size_t k = checkpoint_before(gate_count);
   out.assign_permuted(checkpoints_[k], lane_map);
   apply_plan_range(*plan_, out, boundaries_[k], gate_count);
 }
 
+template void BatchedCleanRun::load_states_at<double>(
+    std::size_t, const std::vector<int>&, BatchedStateVector&) const;
+template void BatchedCleanRun::load_states_at<float>(
+    std::size_t, const std::vector<int>&, BatchedStateVectorF&) const;
+
+template <typename Real>
 void run_trajectories_batched(
-    const FusedPlan& plan, BatchedStateVector& bsv, std::size_t start_gates,
+    const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
+    std::size_t start_gates,
     const std::vector<std::vector<ErrorEvent>>& lane_events) {
   QFAB_CHECK(lane_events.size() == static_cast<std::size_t>(bsv.lanes()));
   const auto& gates = plan.circuit().gates();
@@ -356,5 +364,12 @@ void run_trajectories_batched(
   }
   apply_plan_range(plan, bsv, applied, total);
 }
+
+template void run_trajectories_batched<double>(
+    const FusedPlan&, BatchedStateVector&, std::size_t,
+    const std::vector<std::vector<ErrorEvent>>&);
+template void run_trajectories_batched<float>(
+    const FusedPlan&, BatchedStateVectorF&, std::size_t,
+    const std::vector<std::vector<ErrorEvent>>&);
 
 }  // namespace qfab

@@ -183,9 +183,13 @@ class BatchedCleanRun {
   /// Allocation-free, lane-permuted form of states_at: `out` lane j
   /// becomes member lane_map[j]'s state after `gate_count` gates (members
   /// may repeat, so one group can carry several trajectories of the same
-  /// member). Reuses `out`'s storage across calls.
+  /// member). Reuses `out`'s storage across calls. The float32 replay tier
+  /// passes a BatchedStateVectorF: checkpoints stay double (the ideal run
+  /// is always reference precision) and amplitudes are rounded once here,
+  /// then the checkpoint-to-site replay runs at the narrow precision.
+  template <typename Real>
   void load_states_at(std::size_t gate_count, const std::vector<int>& lane_map,
-                      BatchedStateVector& out) const;
+                      BatchedStateVectorT<Real>& out) const;
 
  private:
   /// Index of the last checkpoint at or before `gate_count` gates.
@@ -207,9 +211,19 @@ class BatchedCleanRun {
 /// between injection sites execute batched; each injection is a per-lane
 /// Pauli between segments. Each lane's events must be sorted by gate_index
 /// with first site >= start_gates (site = gate_index + 1). The circuit
-/// global phase is NOT applied (mirrors run_trajectory).
+/// global phase is NOT applied (mirrors run_trajectory). Instantiated for
+/// both replay precisions (see Precision in sim/batch.h).
+template <typename Real>
 void run_trajectories_batched(
-    const FusedPlan& plan, BatchedStateVector& bsv, std::size_t start_gates,
+    const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
+    std::size_t start_gates,
     const std::vector<std::vector<ErrorEvent>>& lane_events);
+
+extern template void run_trajectories_batched<double>(
+    const FusedPlan&, BatchedStateVector&, std::size_t,
+    const std::vector<std::vector<ErrorEvent>>&);
+extern template void run_trajectories_batched<float>(
+    const FusedPlan&, BatchedStateVectorF&, std::size_t,
+    const std::vector<std::vector<ErrorEvent>>&);
 
 }  // namespace qfab

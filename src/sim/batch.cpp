@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 
 #include "common/bits.h"
 #include "common/check.h"
@@ -33,51 +34,106 @@ namespace {
 
 cplx expi(double t) { return {std::cos(t), std::sin(t)}; }
 
-/// One resolved set of batched kernels (scalar or AVX2 build of the same
-/// bodies). Selected once at startup, swappable via set_simd_mode().
+/// One resolved set of batched kernels: a (ISA tier, amplitude precision)
+/// build of the same bodies. One table per precision is selected at
+/// startup, swappable via set_simd_mode(). All kernels take the chunk's
+/// global base row (diagonal key gathers need it), the full lane stride L
+/// and the active lane-group width G <= L.
+template <typename Real>
 struct BatchKernelTable {
-  void (*matrix1)(double*, double*, u64, u64, int, const cplx*);
-  void (*matrix2)(double*, double*, u64, u64, int, int, const cplx*);
-  void (*diag1)(double*, double*, u64, u64, int, const cplx*);
-  void (*diag)(double*, double*, u64, u64, const FusedOp::DiagShift*, int,
-               const cplx*);
-  void (*phase_on_bit)(double*, double*, u64, u64, int, cplx);
-  void (*gate)(double*, double*, u64, u64, const Gate&);
+  void (*matrix1)(Real*, Real*, u64, u64, u64, u64, int, const cplx*);
+  void (*matrix2)(Real*, Real*, u64, u64, u64, u64, int, int, const cplx*);
+  void (*diag1)(Real*, Real*, u64, u64, u64, u64, int, const cplx*);
+  void (*diag)(Real*, Real*, u64, u64, u64, u64, const FusedOp::DiagShift*,
+               int, const cplx*);
+  void (*phase_on_bit)(Real*, Real*, u64, u64, u64, u64, int, cplx);
+  void (*gate)(Real*, Real*, u64, u64, u64, u64, const Gate&);
 };
 
 #define QFAB_RESTRICT __restrict__
 
-// Portable build of the kernel bodies: plain C++, autovectorized for the
-// baseline ISA. This is the fallback CI pins with QFAB_SIMD=scalar.
-namespace ker_scalar {
+// Portable builds of the kernel bodies: plain C++, autovectorized for the
+// baseline ISA. These are the fallback CI pins with QFAB_SIMD=scalar.
+namespace ker_scalar_f64 {
+using kreal = double;
 #define QFAB_KERNEL_ATTR
 #include "sim/batch_kernels.inc"
 #undef QFAB_KERNEL_ATTR
-}  // namespace ker_scalar
+}  // namespace ker_scalar_f64
+
+namespace ker_scalar_f32 {
+using kreal = float;
+#define QFAB_KERNEL_ATTR
+#include "sim/batch_kernels.inc"
+#undef QFAB_KERNEL_ATTR
+}  // namespace ker_scalar_f32
 
 #if (defined(__x86_64__) || defined(__i386__)) && \
     (defined(__GNUC__) || defined(__clang__)) && !defined(QFAB_SIMD_SCALAR_ONLY)
-#define QFAB_HAVE_AVX2_TABLE 1
-// AVX2+FMA build of the same bodies: the target attribute lets the
+#define QFAB_HAVE_X86_TABLES 1
+// AVX2+FMA builds of the same bodies: the target attribute lets the
 // compiler emit 256-bit FMA code for exactly these functions, so the
 // binary stays runnable on any x86-64 host.
-namespace ker_avx2 {
+namespace ker_avx2_f64 {
+using kreal = double;
 #define QFAB_KERNEL_ATTR __attribute__((target("avx2,fma")))
 #include "sim/batch_kernels.inc"
 #undef QFAB_KERNEL_ATTR
-}  // namespace ker_avx2
+}  // namespace ker_avx2_f64
+
+namespace ker_avx2_f32 {
+using kreal = float;
+#define QFAB_KERNEL_ATTR __attribute__((target("avx2,fma")))
+#include "sim/batch_kernels.inc"
+#undef QFAB_KERNEL_ATTR
+}  // namespace ker_avx2_f32
+
+// AVX-512 builds: 512-bit vectors, 8 doubles / 16 floats per register.
+// prefer-vector-width=512 overrides the 256-bit tuning default so the
+// autovectorizer actually uses zmm for these unit-stride lane loops.
+#define QFAB_AVX512_TARGET                                      \
+  __attribute__((target("avx512f,avx512dq,avx512bw,avx512vl," \
+                        "prefer-vector-width=512")))
+namespace ker_avx512_f64 {
+using kreal = double;
+#define QFAB_KERNEL_ATTR QFAB_AVX512_TARGET
+#include "sim/batch_kernels.inc"
+#undef QFAB_KERNEL_ATTR
+}  // namespace ker_avx512_f64
+
+namespace ker_avx512_f32 {
+using kreal = float;
+#define QFAB_KERNEL_ATTR QFAB_AVX512_TARGET
+#include "sim/batch_kernels.inc"
+#undef QFAB_KERNEL_ATTR
+}  // namespace ker_avx512_f32
 #else
-#define QFAB_HAVE_AVX2_TABLE 0
+#define QFAB_HAVE_X86_TABLES 0
 #endif
 
-const BatchKernelTable kScalarTable = ker_scalar::kernel_table();
-#if QFAB_HAVE_AVX2_TABLE
-const BatchKernelTable kAvx2Table = ker_avx2::kernel_table();
+const BatchKernelTable<double> kScalarF64 = ker_scalar_f64::kernel_table();
+const BatchKernelTable<float> kScalarF32 = ker_scalar_f32::kernel_table();
+#if QFAB_HAVE_X86_TABLES
+const BatchKernelTable<double> kAvx2F64 = ker_avx2_f64::kernel_table();
+const BatchKernelTable<float> kAvx2F32 = ker_avx2_f32::kernel_table();
+const BatchKernelTable<double> kAvx512F64 = ker_avx512_f64::kernel_table();
+const BatchKernelTable<float> kAvx512F32 = ker_avx512_f32::kernel_table();
 #endif
 
 bool cpu_has_avx2() {
-#if QFAB_HAVE_AVX2_TABLE
+#if QFAB_HAVE_X86_TABLES
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if QFAB_HAVE_X86_TABLES
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512dq") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl");
 #else
   return false;
 #endif
@@ -87,6 +143,8 @@ bool cpu_has_avx2() {
 SimdMode requested_mode() {
 #if defined(QFAB_SIMD_SCALAR_ONLY)
   SimdMode mode = SimdMode::kScalar;
+#elif defined(QFAB_SIMD_FORCE_AVX512)
+  SimdMode mode = SimdMode::kAvx512;
 #elif defined(QFAB_SIMD_FORCE_AVX2)
   SimdMode mode = SimdMode::kAvx2;
 #else
@@ -95,64 +153,97 @@ SimdMode requested_mode() {
   if (const char* env = std::getenv("QFAB_SIMD")) {
     if (std::strcmp(env, "scalar") == 0) mode = SimdMode::kScalar;
     else if (std::strcmp(env, "avx2") == 0) mode = SimdMode::kAvx2;
+    else if (std::strcmp(env, "avx512") == 0) mode = SimdMode::kAvx512;
     else if (std::strcmp(env, "auto") == 0) mode = SimdMode::kAuto;
   }
   return mode;
 }
 
-const BatchKernelTable* resolve(SimdMode mode) {
+/// Resolve kAuto by CPUID and degrade forced modes the CPU lacks.
+SimdMode resolve_mode(SimdMode mode) {
+  const bool a2 = cpu_has_avx2();
+  const bool a5 = cpu_has_avx512();
   if (mode == SimdMode::kAuto)
-    mode = cpu_has_avx2() ? SimdMode::kAvx2 : SimdMode::kScalar;
-#if QFAB_HAVE_AVX2_TABLE
-  if (mode == SimdMode::kAvx2 && cpu_has_avx2()) return &kAvx2Table;
-#endif
-  return &kScalarTable;
+    return a5 ? SimdMode::kAvx512 : a2 ? SimdMode::kAvx2 : SimdMode::kScalar;
+  if (mode == SimdMode::kAvx512 && !a5)
+    return a2 ? SimdMode::kAvx2 : SimdMode::kScalar;
+  if (mode == SimdMode::kAvx2 && !a2) return SimdMode::kScalar;
+  return mode;
 }
 
-std::atomic<const BatchKernelTable*>& table_slot() {
-  static std::atomic<const BatchKernelTable*> slot{resolve(requested_mode())};
+std::atomic<SimdMode>& mode_slot() {
+  static std::atomic<SimdMode> slot{resolve_mode(requested_mode())};
   return slot;
 }
 
-const BatchKernelTable& active_table() {
-  return *table_slot().load(std::memory_order_relaxed);
+template <typename Real>
+const BatchKernelTable<Real>& table_for(SimdMode resolved) {
+  if constexpr (std::is_same_v<Real, double>) {
+#if QFAB_HAVE_X86_TABLES
+    if (resolved == SimdMode::kAvx512) return kAvx512F64;
+    if (resolved == SimdMode::kAvx2) return kAvx2F64;
+#endif
+    (void)resolved;
+    return kScalarF64;
+  } else {
+#if QFAB_HAVE_X86_TABLES
+    if (resolved == SimdMode::kAvx512) return kAvx512F32;
+    if (resolved == SimdMode::kAvx2) return kAvx2F32;
+#endif
+    (void)resolved;
+    return kScalarF32;
+  }
+}
+
+template <typename Real>
+const BatchKernelTable<Real>& active_table() {
+  return table_for<Real>(mode_slot().load(std::memory_order_relaxed));
 }
 
 }  // namespace
 
-SimdMode simd_mode() {
-#if QFAB_HAVE_AVX2_TABLE
-  if (&active_table() == &kAvx2Table) return SimdMode::kAvx2;
-#endif
-  return SimdMode::kScalar;
-}
+SimdMode simd_mode() { return mode_slot().load(std::memory_order_relaxed); }
 
 void set_simd_mode(SimdMode mode) {
-  table_slot().store(resolve(mode), std::memory_order_relaxed);
+  mode_slot().store(resolve_mode(mode), std::memory_order_relaxed);
 }
 
 const char* simd_mode_name() {
-  return simd_mode() == SimdMode::kAvx2 ? "avx2" : "scalar";
+  switch (simd_mode()) {
+    case SimdMode::kAvx512: return "avx512";
+    case SimdMode::kAvx2: return "avx2";
+    default: return "scalar";
+  }
+}
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kDouble: return "double";
+    case Precision::kFloat32: return "float32";
+    default: return "auto";
+  }
 }
 
 // ---------------------------------------------------------------------------
-// BatchedStateVector
+// BatchedStateVectorT
 // ---------------------------------------------------------------------------
 
-BatchedStateVector::BatchedStateVector(int num_qubits, int lanes)
+template <typename Real>
+BatchedStateVectorT<Real>::BatchedStateVectorT(int num_qubits, int lanes)
     : num_qubits_(num_qubits), lanes_(lanes) {
   QFAB_CHECK_MSG(num_qubits >= 1 && num_qubits <= 30,
                  "unsupported qubit count " << num_qubits);
   QFAB_CHECK_MSG(lanes >= 1 && lanes <= kMaxLanes,
                  "unsupported lane count " << lanes);
   const std::size_t total = dim() * static_cast<std::size_t>(lanes_);
-  re_.assign(total, 0.0);
-  im_.assign(total, 0.0);
+  re_.assign(total, Real{0});
+  im_.assign(total, Real{0});
   pending_.assign(static_cast<std::size_t>(lanes_), 0.0);
-  for (int l = 0; l < lanes_; ++l) re_[static_cast<std::size_t>(l)] = 1.0;
+  for (int l = 0; l < lanes_; ++l) re_[static_cast<std::size_t>(l)] = Real{1};
 }
 
-void BatchedStateVector::reset(int num_qubits, int lanes) {
+template <typename Real>
+void BatchedStateVectorT<Real>::reset(int num_qubits, int lanes) {
   QFAB_CHECK_MSG(num_qubits >= 1 && num_qubits <= 30,
                  "unsupported qubit count " << num_qubits);
   QFAB_CHECK_MSG(lanes >= 1 && lanes <= kMaxLanes,
@@ -165,26 +256,29 @@ void BatchedStateVector::reset(int num_qubits, int lanes) {
   pending_.resize(static_cast<std::size_t>(lanes_));
 }
 
-void BatchedStateVector::set_lane(int lane, const StateVector& sv) {
+template <typename Real>
+void BatchedStateVectorT<Real>::set_lane(int lane, const StateVector& sv) {
   QFAB_CHECK(lane >= 0 && lane < lanes_);
   QFAB_CHECK(sv.num_qubits() == num_qubits_);
   const std::vector<cplx>& a = sv.amplitudes();
   const u64 L = static_cast<u64>(lanes_);
   for (u64 i = 0; i < a.size(); ++i) {
-    re_[i * L + static_cast<u64>(lane)] = a[i].real();
-    im_[i * L + static_cast<u64>(lane)] = a[i].imag();
+    re_[i * L + static_cast<u64>(lane)] = static_cast<Real>(a[i].real());
+    im_[i * L + static_cast<u64>(lane)] = static_cast<Real>(a[i].imag());
   }
   pending_[static_cast<std::size_t>(lane)] = 0.0;
 }
 
-void BatchedStateVector::broadcast(const StateVector& sv) {
+template <typename Real>
+void BatchedStateVectorT<Real>::broadcast(const StateVector& sv) {
   QFAB_CHECK(sv.num_qubits() == num_qubits_);
   const std::vector<cplx>& a = sv.amplitudes();
   const u64 L = static_cast<u64>(lanes_);
   for (u64 i = 0; i < a.size(); ++i) {
-    const double ar = a[i].real(), ai = a[i].imag();
-    double* r = re_.data() + i * L;
-    double* m = im_.data() + i * L;
+    const Real ar = static_cast<Real>(a[i].real());
+    const Real ai = static_cast<Real>(a[i].imag());
+    Real* r = re_.data() + i * L;
+    Real* m = im_.data() + i * L;
     for (u64 l = 0; l < L; ++l) {
       r[l] = ar;
       m[l] = ai;
@@ -193,21 +287,25 @@ void BatchedStateVector::broadcast(const StateVector& sv) {
   std::fill(pending_.begin(), pending_.end(), 0.0);
 }
 
-StateVector BatchedStateVector::lane_state(int lane) const {
+template <typename Real>
+StateVector BatchedStateVectorT<Real>::lane_state(int lane) const {
   QFAB_CHECK(lane >= 0 && lane < lanes_);
   const u64 L = static_cast<u64>(lanes_);
   const cplx ph = expi(pending_[static_cast<std::size_t>(lane)]);
   std::vector<cplx> amps(dim());
   for (u64 i = 0; i < amps.size(); ++i)
-    amps[i] = cplx{re_[i * L + static_cast<u64>(lane)],
-                   im_[i * L + static_cast<u64>(lane)]} *
-              ph;
+    amps[i] =
+        cplx{static_cast<double>(re_[i * L + static_cast<u64>(lane)]),
+             static_cast<double>(im_[i * L + static_cast<u64>(lane)])} *
+        ph;
   return StateVector::from_amplitudes(std::move(amps));
 }
 
-void BatchedStateVector::assign_permuted(const BatchedStateVector& src,
-                                         const std::vector<int>& lane_map) {
-  QFAB_CHECK(this != &src);
+template <typename Real>
+template <typename SrcReal>
+void BatchedStateVectorT<Real>::assign_permuted(
+    const BatchedStateVectorT<SrcReal>& src, const std::vector<int>& lane_map) {
+  QFAB_CHECK(static_cast<const void*>(this) != static_cast<const void*>(&src));
   QFAB_CHECK(!lane_map.empty() &&
              lane_map.size() <= static_cast<std::size_t>(kMaxLanes));
   for (int l : lane_map) QFAB_CHECK(l >= 0 && l < src.lanes_);
@@ -222,27 +320,28 @@ void BatchedStateVector::assign_permuted(const BatchedStateVector& src,
   for (u64 j = 0; j < L; ++j)
     pending_[j] = src.pending_[static_cast<std::size_t>(lane_map[j])];
   for (u64 i = 0; i < n; ++i) {
-    const double* sr = src.re_.data() + i * S;
-    const double* sm = src.im_.data() + i * S;
-    double* dr = re_.data() + i * L;
-    double* dm = im_.data() + i * L;
+    const SrcReal* sr = src.re_.data() + i * S;
+    const SrcReal* sm = src.im_.data() + i * S;
+    Real* dr = re_.data() + i * L;
+    Real* dm = im_.data() + i * L;
     for (u64 j = 0; j < L; ++j) {
       const u64 s = static_cast<u64>(lane_map[j]);
-      dr[j] = sr[s];
-      dm[j] = sm[s];
+      dr[j] = static_cast<Real>(sr[s]);
+      dm[j] = static_cast<Real>(sm[s]);
     }
   }
 }
 
-void BatchedStateVector::apply_pauli(int lane, Pauli p, int q) {
+template <typename Real>
+void BatchedStateVectorT<Real>::apply_pauli(int lane, Pauli p, int q) {
   QFAB_CHECK(lane >= 0 && lane < lanes_);
   QFAB_CHECK(q >= 0 && q < num_qubits_);
   const u64 L = static_cast<u64>(lanes_);
   const u64 col = static_cast<u64>(lane);
   const u64 bit = u64{1} << q;
   const u64 n = dim();
-  double* r = re_.data();
-  double* m = im_.data();
+  Real* r = re_.data();
+  Real* m = im_.data();
   switch (p) {
     case Pauli::kI:
       return;
@@ -260,8 +359,8 @@ void BatchedStateVector::apply_pauli(int lane, Pauli p, int q) {
         for (u64 off = 0; off < bit; ++off) {
           const u64 i0 = (base + off) * L + col;
           const u64 i1 = (base + off + bit) * L + col;
-          const double v0r = r[i0], v0i = m[i0];
-          const double v1r = r[i1], v1i = m[i1];
+          const Real v0r = r[i0], v0i = m[i0];
+          const Real v1r = r[i1], v1i = m[i1];
           r[i0] = v1i;   // -i * v1
           m[i0] = -v1r;
           r[i1] = -v0i;  //  i * v0
@@ -279,16 +378,21 @@ void BatchedStateVector::apply_pauli(int lane, Pauli p, int q) {
   }
 }
 
-void BatchedStateVector::apply_global_phase(double phase) {
+template <typename Real>
+void BatchedStateVectorT<Real>::apply_global_phase(double phase) {
   for (double& p : pending_) p += phase;
 }
 
-void BatchedStateVector::apply_lane_global_phase(int lane, double phase) {
+template <typename Real>
+void BatchedStateVectorT<Real>::apply_lane_global_phase(int lane,
+                                                        double phase) {
   QFAB_CHECK(lane >= 0 && lane < lanes_);
   pending_[static_cast<std::size_t>(lane)] += phase;
 }
 
-std::vector<double> BatchedStateVector::lane_probabilities(int lane) const {
+template <typename Real>
+std::vector<double> BatchedStateVectorT<Real>::lane_probabilities(
+    int lane) const {
   QFAB_CHECK(lane >= 0 && lane < lanes_);
   const u64 L = static_cast<u64>(lanes_);
   const u64 col = static_cast<u64>(lane);
@@ -300,7 +404,8 @@ std::vector<double> BatchedStateVector::lane_probabilities(int lane) const {
   return p;
 }
 
-std::vector<double> BatchedStateVector::lane_marginal_probabilities(
+template <typename Real>
+std::vector<double> BatchedStateVectorT<Real>::lane_marginal_probabilities(
     int lane, const std::vector<int>& qubits) const {
   QFAB_CHECK(lane >= 0 && lane < lanes_);
   QFAB_CHECK(!qubits.empty() &&
@@ -337,8 +442,9 @@ std::vector<double> BatchedStateVector::lane_marginal_probabilities(
   return out;
 }
 
+template <typename Real>
 std::vector<std::vector<double>>
-BatchedStateVector::all_lane_marginal_probabilities(
+BatchedStateVectorT<Real>::all_lane_marginal_probabilities(
     const std::vector<int>& qubits) const {
   std::vector<std::vector<double>> out;
   std::vector<double> scratch;
@@ -346,7 +452,8 @@ BatchedStateVector::all_lane_marginal_probabilities(
   return out;
 }
 
-void BatchedStateVector::all_lane_marginal_probabilities(
+template <typename Real>
+void BatchedStateVectorT<Real>::all_lane_marginal_probabilities(
     const std::vector<int>& qubits, std::vector<std::vector<double>>& out,
     std::vector<double>& scratch) const {
   QFAB_CHECK(!qubits.empty() &&
@@ -362,9 +469,11 @@ void BatchedStateVector::all_lane_marginal_probabilities(
       break;
     }
   // acc[key * L + lane]: per amplitude row the accumulation is one
-  // unit-stride fused multiply-add over the lanes. Additions land per
-  // (lane, key) in ascending amplitude order — exactly the order
-  // lane_marginal_probabilities uses — so the results are bitwise equal.
+  // unit-stride fused multiply-add over the lanes (always in double, so
+  // the float tier loses precision only in the amplitudes themselves, not
+  // the reduction). Additions land per (lane, key) in ascending amplitude
+  // order — exactly the order lane_marginal_probabilities uses — so the
+  // results are bitwise equal.
   scratch.assign(out_size * L, 0.0);
   double* acc = scratch.data();
   const int shift = qubits[0];
@@ -378,10 +487,13 @@ void BatchedStateVector::all_lane_marginal_probabilities(
       for (std::size_t b = 0; b < qubits.size(); ++b)
         key |= static_cast<u64>(get_bit(i, qubits[b])) << b;
     }
-    const double* r = re_.data() + i * L;
-    const double* m = im_.data() + i * L;
+    const Real* r = re_.data() + i * L;
+    const Real* m = im_.data() + i * L;
     double* a = acc + key * L;
-    for (u64 l = 0; l < L; ++l) a[l] += r[l] * r[l] + m[l] * m[l];
+    for (u64 l = 0; l < L; ++l) {
+      const double ar = r[l], ai = m[l];
+      a[l] += ar * ar + ai * ai;
+    }
   }
   out.resize(static_cast<std::size_t>(lanes_));
   for (u64 l = 0; l < L; ++l) {
@@ -390,7 +502,8 @@ void BatchedStateVector::all_lane_marginal_probabilities(
   }
 }
 
-double BatchedStateVector::lane_norm(int lane) const {
+template <typename Real>
+double BatchedStateVectorT<Real>::lane_norm(int lane) const {
   QFAB_CHECK(lane >= 0 && lane < lanes_);
   const u64 L = static_cast<u64>(lanes_);
   const u64 col = static_cast<u64>(lane);
@@ -402,6 +515,18 @@ double BatchedStateVector::lane_norm(int lane) const {
   return std::sqrt(s);
 }
 
+template class BatchedStateVectorT<double>;
+template class BatchedStateVectorT<float>;
+
+template void BatchedStateVectorT<double>::assign_permuted<double>(
+    const BatchedStateVectorT<double>&, const std::vector<int>&);
+template void BatchedStateVectorT<double>::assign_permuted<float>(
+    const BatchedStateVectorT<float>&, const std::vector<int>&);
+template void BatchedStateVectorT<float>::assign_permuted<double>(
+    const BatchedStateVectorT<double>&, const std::vector<int>&);
+template void BatchedStateVectorT<float>::assign_permuted<float>(
+    const BatchedStateVectorT<float>&, const std::vector<int>&);
+
 // ---------------------------------------------------------------------------
 // Batched plan execution
 // ---------------------------------------------------------------------------
@@ -411,7 +536,8 @@ namespace {
 /// Scalar op work routed to the lanes' pending phases exactly once per op
 /// (never per tile): RZ prefactors of passthrough gates and k = 0 diagonal
 /// ops (identity-up-to-phase products).
-void add_pending(const FusedPlan& plan, BatchedStateVector& bsv,
+template <typename Real>
+void add_pending(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
                  const FusedOp& op) {
   if (op.kind == FusedOp::Kind::kGate) {
     const Gate& gate = plan.circuit().gates()[op.gate_begin];
@@ -422,104 +548,137 @@ void add_pending(const FusedPlan& plan, BatchedStateVector& bsv,
   }
 }
 
-void apply_chunk(const BatchKernelTable& K, const FusedPlan& plan, double* re,
-                 double* im, u64 len, u64 L, const FusedOp& op) {
+template <typename Real>
+void apply_chunk(const BatchKernelTable<Real>& K, const FusedPlan& plan,
+                 Real* re, Real* im, u64 base, u64 len, u64 L, u64 G,
+                 const FusedOp& op) {
   switch (op.kind) {
     case FusedOp::Kind::kMatrix1:
       if (detail::batch_fault_injection()) {
         // Emulated kernel regression (see batch.h): one flipped sign.
         const cplx m[4] = {op.m[0], op.m[1], op.m[2], -op.m[3]};
-        K.matrix1(re, im, len, L, op.q0, m);
+        K.matrix1(re, im, base, len, L, G, op.q0, m);
         return;
       }
-      K.matrix1(re, im, len, L, op.q0, op.m.data());
+      K.matrix1(re, im, base, len, L, G, op.q0, op.m.data());
       return;
     case FusedOp::Kind::kMatrix2:
-      K.matrix2(re, im, len, L, op.q0, op.q1, op.m.data());
+      K.matrix2(re, im, base, len, L, G, op.q0, op.q1, op.m.data());
       return;
     case FusedOp::Kind::kDiagonal:
       if (op.qubits.empty()) return;  // handled by add_pending
       if (op.qubits.size() == 1)
-        K.diag1(re, im, len, L, op.qubits[0], op.phases.data());
+        K.diag1(re, im, base, len, L, G, op.qubits[0], op.phases.data());
       else
-        K.diag(re, im, len, L, op.shifts.data(),
+        K.diag(re, im, base, len, L, G, op.shifts.data(),
                static_cast<int>(op.shifts.size()), op.phases.data());
       return;
     case FusedOp::Kind::kGate:
-      K.gate(re, im, len, L, plan.circuit().gates()[op.gate_begin]);
+      K.gate(re, im, base, len, L, G, plan.circuit().gates()[op.gate_begin]);
       return;
   }
 }
 
-/// Apply whole ops [op_lo, op_hi), cache-blocked. A batched tile row is L
-/// amplitudes wide, so the tile shrinks by log2(L) to keep the same L1
-/// footprint as the scalar path.
-void apply_ops_batched(const FusedPlan& plan, BatchedStateVector& bsv,
+/// Diagonal ops only touch each row once and key off the global row index,
+/// so they tile at ANY qubit span; everything else must fit the tile.
+bool tile_eligible(const FusedOp& op, int tb) {
+  return op.kind == FusedOp::Kind::kDiagonal || op.max_qubit < tb;
+}
+
+/// Apply whole ops [op_lo, op_hi), cache-blocked lane-aware:
+///
+///  - Runs of tile-eligible ops execute as full-width amp-tile blocks, ops
+///    inner, with the tile height shrunk so 2^tb rows × L lanes × 2 planes
+///    stays on the scalar path's 2^tile_bits-amplitude (32 KiB) L1 budget
+///    at every (L, precision). One tile of rows takes the whole run before
+///    the next tile streams in.
+///
+///  - Wide (non-eligible) ops execute as plain full-width passes.
+///
+/// Both always cover all L lanes of a row at once: lanes are interleaved,
+/// so any lane-subset pass is strided (touch part of a row, skip the
+/// rest), and measurement showed that costs ~2x at batch=16 double — the
+/// adjacent-line prefetch pulls the skipped lanes anyway, doubling the
+/// effective traffic. Contiguous full-width streaming is what keeps
+/// ms/lane flat from batch=4 through batch=16.
+template <typename Real>
+void apply_ops_batched(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
                        std::size_t op_lo, std::size_t op_hi) {
-  const BatchKernelTable& K = active_table();
+  const BatchKernelTable<Real>& K = active_table<Real>();
   const auto& ops = plan.ops();
-  double* re = bsv.re();
-  double* im = bsv.im();
+  Real* re = bsv.re();
+  Real* im = bsv.im();
   const u64 L = static_cast<u64>(bsv.lanes());
   const u64 n = bsv.dim();
-  int tb = plan.options().tile_bits - ceil_log2(L);
+  // Rows per tile: keep rows × L lanes × 2 planes × sizeof(Real) equal to
+  // the scalar path's 2^tile_bits × sizeof(cplx) L1 budget.
+  int tb = plan.options().tile_bits + 4 -
+           ceil_log2(2 * L * static_cast<u64>(sizeof(Real)));
   tb = std::max(tb, 4);
   tb = std::min(tb, bsv.num_qubits());
   const u64 tile = u64{1} << tb;
 
   std::size_t i = op_lo;
   while (i < op_hi) {
-    if (ops[i].max_qubit < tb) {
+    if (tile_eligible(ops[i], tb)) {
       std::size_t j = i;
-      while (j < op_hi && ops[j].max_qubit < tb) ++j;
+      while (j < op_hi && tile_eligible(ops[j], tb)) ++j;
       for (std::size_t k = i; k < j; ++k) add_pending(plan, bsv, ops[k]);
       for (u64 base = 0; base < n; base += tile)
         for (std::size_t k = i; k < j; ++k)
-          apply_chunk(K, plan, re + base * L, im + base * L, tile, L, ops[k]);
+          apply_chunk(K, plan, re + base * L, im + base * L, base, tile, L, L,
+                      ops[k]);
       i = j;
     } else {
-      add_pending(plan, bsv, ops[i]);
-      apply_chunk(K, plan, re, im, n, L, ops[i]);
-      ++i;
+      std::size_t j = i;
+      while (j < op_hi && !tile_eligible(ops[j], tb)) ++j;
+      for (std::size_t k = i; k < j; ++k) add_pending(plan, bsv, ops[k]);
+      for (std::size_t k = i; k < j; ++k)
+        apply_chunk(K, plan, re, im, 0, n, L, L, ops[k]);
+      i = j;
     }
   }
 }
 
 /// Batched per-gate fallback for partially covered ops.
-void apply_gates_batched(const FusedPlan& plan, BatchedStateVector& bsv,
+template <typename Real>
+void apply_gates_batched(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
                          std::size_t gate_begin, std::size_t gate_end) {
-  const BatchKernelTable& K = active_table();
-  double* re = bsv.re();
-  double* im = bsv.im();
+  const BatchKernelTable<Real>& K = active_table<Real>();
+  Real* re = bsv.re();
+  Real* im = bsv.im();
   const u64 L = static_cast<u64>(bsv.lanes());
   const u64 n = bsv.dim();
   for (std::size_t g = gate_begin; g < gate_end; ++g) {
     const Gate& gate = plan.circuit().gates()[g];
     if (gate.kind == GateKind::kRZ)
       bsv.apply_global_phase(-gate.params[0] / 2);
-    K.gate(re, im, n, L, gate);
+    K.gate(re, im, 0, n, L, L, gate);
   }
 }
 
 // QFAB_FAULT nan-at-gate hook, batched counterpart of the one in
 // fusion.cpp: after a pass that executed the targeted gate, poison lane 0's
 // first amplitude with a quiet NaN. Inert without the env directive.
-void maybe_inject_nan(BatchedStateVector& bsv, std::size_t gate_begin,
+template <typename Real>
+void maybe_inject_nan(BatchedStateVectorT<Real>& bsv, std::size_t gate_begin,
                       std::size_t gate_end) {
   if (fault::nan_fault_active() && fault::take_nan_charge(gate_begin, gate_end))
-    bsv.re()[0] = std::numeric_limits<double>::quiet_NaN();
+    bsv.re()[0] = std::numeric_limits<Real>::quiet_NaN();
 }
 
 }  // namespace
 
-void apply_plan(const FusedPlan& plan, BatchedStateVector& bsv) {
+template <typename Real>
+void apply_plan(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv) {
   QFAB_CHECK(bsv.num_qubits() == plan.circuit().num_qubits());
   apply_ops_batched(plan, bsv, 0, plan.op_count());
   bsv.apply_global_phase(plan.circuit().global_phase());
   maybe_inject_nan(bsv, 0, plan.gate_count());
 }
 
-void apply_plan_range(const FusedPlan& plan, BatchedStateVector& bsv,
+template <typename Real>
+void apply_plan_range(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
                       std::size_t gate_begin, std::size_t gate_end) {
   QFAB_CHECK(bsv.num_qubits() == plan.circuit().num_qubits());
   QFAB_CHECK(gate_begin <= gate_end && gate_end <= plan.gate_count());
@@ -552,5 +711,12 @@ void apply_plan_range(const FusedPlan& plan, BatchedStateVector& bsv,
   }
   maybe_inject_nan(bsv, gate_begin, gate_end);
 }
+
+template void apply_plan<double>(const FusedPlan&, BatchedStateVector&);
+template void apply_plan<float>(const FusedPlan&, BatchedStateVectorF&);
+template void apply_plan_range<double>(const FusedPlan&, BatchedStateVector&,
+                                       std::size_t, std::size_t);
+template void apply_plan_range<float>(const FusedPlan&, BatchedStateVectorF&,
+                                      std::size_t, std::size_t);
 
 }  // namespace qfab

@@ -5,19 +5,32 @@
 // the initial states and the Pauli injection sites differ. The single-state
 // path walks each 2^n vector alone, so vector units run half-empty and
 // every op's decode (matrix loads, phase-table key gathers) is repaid per
-// state. BatchedStateVector runs B such states ("lanes") through one plan
-// pass in a structure-of-arrays layout:
+// state. BatchedStateVectorT<Real> runs B such states ("lanes") through one
+// plan pass in a structure-of-arrays layout:
 //
 //     re[amp * B + lane],  im[amp * B + lane]
 //
 // — amplitude-major, lane-minor, split real/imaginary planes — so every
-// kernel's inner loop is a unit-stride stream of B doubles: the shape that
+// kernel's inner loop is a unit-stride stream of B reals: the shape that
 // autovectorizes to full-width FMAs with no shuffles, and that amortizes
 // per-amplitude op decode (diagonal key gathers, matrix broadcast) across
 // all lanes.
 //
-// Kernels are compiled twice — a portable scalar build and an AVX2+FMA
-// build ("target" function attributes) — and one table is selected once at
+// Precision tiers: the engine is templated on the amplitude scalar `Real`.
+//   BatchedStateVector  (double)  — the bitwise reference tier; matches the
+//                                   scalar StateVector path to rounding.
+//   BatchedStateVectorF (float)   — half the working set, twice the lanes
+//                                   per vector register; used by the noise
+//                                   trajectory estimators when the precision
+//                                   policy (exp/experiment.h) decides the
+//                                   replay drift budget allows it. Gate
+//                                   matrices, phase tables and marginal
+//                                   accumulators stay double; only the
+//                                   amplitude planes are narrowed.
+//
+// Kernels are compiled per (ISA, precision): a portable scalar build, an
+// AVX2+FMA build, and an AVX-512 build ("target" function attributes), each
+// instantiated for double and float. One table per precision is selected at
 // startup by CPUID (overridable via the QFAB_SIMD environment variable or
 // set_simd_mode(); the QFAB_SIMD CMake option pins the choice at build
 // time). The scalar table is the reference fallback CI runs under
@@ -28,6 +41,15 @@
 // between apply_plan_range calls, exactly mirroring the scalar trajectory
 // split-point protocol, then batched execution resumes. See
 // noise/trajectory.h for the batched trajectory driver built on top.
+//
+// Cache blocking: the fused-op apply loop executes runs of tile-eligible
+// ops as full-width amp-tile blocks whose height shrinks with lanes ×
+// sizeof(Real) so a tile is always L1-sized; wide ops stream plain
+// full-width passes (see apply_ops_batched in batch.cpp — lane-subset
+// passes measured slower, since the interleaved layout makes them
+// strided). Diagonal ops are tile-eligible at any qubit span because
+// their phase-key gather needs only the global row index, which the tile
+// walk supplies.
 #pragma once
 
 #include <cstddef>
@@ -40,39 +62,59 @@ namespace qfab {
 
 /// Which kernel table executes batched ops.
 enum class SimdMode {
-  kAuto,    // detect at startup: AVX2+FMA when the CPU has both
+  kAuto,    // detect at startup: widest tier the CPU supports
+  kAvx512,  // force the AVX-512 table (falls back if unavailable)
   kAvx2,    // force the AVX2+FMA table (falls back if unavailable)
   kScalar,  // force the portable table
 };
 
 /// The resolved mode (never kAuto): what batched kernels actually run.
 /// Resolution order: set_simd_mode() override, else the QFAB_SIMD
-/// environment variable ("auto" | "avx2" | "scalar"), else the build's
-/// QFAB_SIMD CMake default, else CPUID.
+/// environment variable ("auto" | "avx512" | "avx2" | "scalar"), else the
+/// build's QFAB_SIMD CMake default, else CPUID.
 SimdMode simd_mode();
 
 /// Override the dispatch (tests and benches; kAuto restores detection).
+/// Affects every precision's table.
 void set_simd_mode(SimdMode mode);
 
-/// "avx2" or "scalar" for the resolved mode.
+/// "avx512", "avx2" or "scalar" for the resolved mode.
 const char* simd_mode_name();
+
+/// Amplitude precision for batched trajectory replay (see the precision
+/// policy in exp/experiment.h; kAuto resolves per run against a drift
+/// budget).
+enum class Precision {
+  kDouble,   // bitwise reference tier
+  kFloat32,  // narrow tier: half the bytes, twice the SIMD lanes
+  kAuto,     // policy decides per (n, depth, rate); falls back on drift
+};
+
+/// "double", "float32" or "auto".
+const char* precision_name(Precision p);
 
 namespace detail {
 /// Fault-injection hook for the differential verifier's self-test ONLY
 /// (tools/qfab_verify --inject-kernel-bug): when enabled, the batched
 /// kMatrix1 dispatch flips the sign of one matrix entry, emulating a
 /// batched-kernel regression that the verify harness must catch and shrink
-/// to a repro. Never enable outside tests.
+/// to a repro. Applies to every (ISA, precision) kernel tier. Never enable
+/// outside tests.
 void set_batch_fault_injection(bool on);
 bool batch_fault_injection();
 }  // namespace detail
 
 /// B state vectors advanced in lockstep through shared plan segments.
-class BatchedStateVector {
+/// `Real` is the amplitude scalar (double or float); the double
+/// instantiation is bitwise-stable against the scalar StateVector path,
+/// the float instantiation carries a bounded replay drift (see DESIGN.md
+/// §11).
+template <typename Real>
+class BatchedStateVectorT {
  public:
   /// Lanes start as |0...0>. 1 <= lanes <= kMaxLanes; ragged final batches
   /// of a sweep simply construct with fewer lanes.
-  BatchedStateVector(int num_qubits, int lanes);
+  BatchedStateVectorT(int num_qubits, int lanes);
 
   static constexpr int kMaxLanes = 64;
 
@@ -83,11 +125,12 @@ class BatchedStateVector {
   /// Re-dimension to (num_qubits, lanes) reusing the existing heap
   /// storage; lane contents are unspecified until set via broadcast /
   /// set_lane / assign_permuted. This is the trajectory estimators'
-  /// per-group workspace path: one BatchedStateVector per thread instead
+  /// per-group workspace path: one BatchedStateVectorT per thread instead
   /// of one allocation per replay group.
   void reset(int num_qubits, int lanes);
 
-  /// Copy a state into one lane (pending phase folded in).
+  /// Copy a state into one lane (pending phase folded in; amplitudes
+  /// rounded to Real).
   void set_lane(int lane, const StateVector& sv);
   /// Copy one state into every lane (trajectory batches of one instance).
   void broadcast(const StateVector& sv);
@@ -97,8 +140,10 @@ class BatchedStateVector {
   /// src lane lane_map[j] (repeats allowed, so several trajectories of one
   /// member can occupy their own lanes). Reuses this vector's storage —
   /// the allocation-free way to seed a trajectory group from a batched
-  /// checkpoint.
-  void assign_permuted(const BatchedStateVector& src,
+  /// checkpoint. `src` may be of a different precision (the float replay
+  /// tier seeds from double checkpoints; amplitudes are rounded once here).
+  template <typename SrcReal>
+  void assign_permuted(const BatchedStateVectorT<SrcReal>& src,
                        const std::vector<int>& lane_map);
 
   /// Per-lane divergence: apply a Pauli to one lane only (noise injection
@@ -110,6 +155,7 @@ class BatchedStateVector {
   void apply_lane_global_phase(int lane, double phase);
 
   /// |amp|^2 of one lane (phase-free; pending phase is irrelevant).
+  /// Accumulation is always double, whatever Real is.
   std::vector<double> lane_probabilities(int lane) const;
   /// Marginal distribution of `qubits` for one lane (see
   /// StateVector::marginal_probabilities).
@@ -130,30 +176,50 @@ class BatchedStateVector {
   double lane_norm(int lane) const;
 
   /// Raw planes for the batched kernels (amp-major, lane-minor).
-  double* re() { return re_.data(); }
-  double* im() { return im_.data(); }
-  const double* re() const { return re_.data(); }
-  const double* im() const { return im_.data(); }
+  Real* re() { return re_.data(); }
+  Real* im() { return im_.data(); }
+  const Real* re() const { return re_.data(); }
+  const Real* im() const { return im_.data(); }
 
  private:
-  friend void apply_plan_range(const FusedPlan&, BatchedStateVector&,
-                               std::size_t, std::size_t);
+  template <typename OtherReal>
+  friend class BatchedStateVectorT;
 
   int num_qubits_ = 0;
   int lanes_ = 1;
-  std::vector<double> re_, im_;
+  std::vector<Real> re_, im_;
   std::vector<double> pending_;  // per-lane lazy global phase (radians)
 };
 
+/// The bitwise-reference double tier (the pre-existing engine name; all
+/// exact-path consumers use this alias).
+using BatchedStateVector = BatchedStateVectorT<double>;
+/// The narrow trajectory-replay tier.
+using BatchedStateVectorF = BatchedStateVectorT<float>;
+
+extern template class BatchedStateVectorT<double>;
+extern template class BatchedStateVectorT<float>;
+
 /// Apply the full plan to every lane, including the circuit's global phase
 /// (mirrors FusedPlan::apply).
-void apply_plan(const FusedPlan& plan, BatchedStateVector& bsv);
+template <typename Real>
+void apply_plan(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv);
 
 /// Apply original gates [gate_begin, gate_end) to every lane; global phase
 /// NOT applied (mirrors FusedPlan::apply_range). Boundaries may fall inside
 /// fused ops — partially covered gates run on batched per-gate kernels — so
 /// per-lane noise injection can split anywhere.
-void apply_plan_range(const FusedPlan& plan, BatchedStateVector& bsv,
+template <typename Real>
+void apply_plan_range(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
                       std::size_t gate_begin, std::size_t gate_end);
+
+extern template void apply_plan<double>(const FusedPlan&, BatchedStateVector&);
+extern template void apply_plan<float>(const FusedPlan&, BatchedStateVectorF&);
+extern template void apply_plan_range<double>(const FusedPlan&,
+                                              BatchedStateVector&, std::size_t,
+                                              std::size_t);
+extern template void apply_plan_range<float>(const FusedPlan&,
+                                             BatchedStateVectorF&, std::size_t,
+                                             std::size_t);
 
 }  // namespace qfab

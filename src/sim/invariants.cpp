@@ -35,7 +35,8 @@ std::string check_norm(const StateVector& sv, double tol) {
   return os.str();
 }
 
-std::string check_lane_norms(const BatchedStateVector& bsv, double tol) {
+template <typename Real>
+std::string check_lane_norms(const BatchedStateVectorT<Real>& bsv, double tol) {
   double worst = 0.0;
   int worst_lane = -1;
   for (int l = 0; l < bsv.lanes(); ++l) {
@@ -51,5 +52,10 @@ std::string check_lane_norms(const BatchedStateVector& bsv, double tol) {
      << " (tol " << tol << ")";
   return os.str();
 }
+
+template std::string check_lane_norms<double>(const BatchedStateVector&,
+                                              double);
+template std::string check_lane_norms<float>(const BatchedStateVectorF&,
+                                             double);
 
 }  // namespace qfab

@@ -27,7 +27,14 @@ std::string check_probability_simplex(const std::vector<double>& probs,
 /// Norm preservation: "" when | ||psi|| - 1 | <= tol.
 std::string check_norm(const StateVector& sv, double tol);
 
-/// Per-lane norm preservation of a batched state; reports the worst lane.
-std::string check_lane_norms(const BatchedStateVector& bsv, double tol);
+/// Per-lane norm preservation of a batched state (either precision tier);
+/// reports the worst lane.
+template <typename Real>
+std::string check_lane_norms(const BatchedStateVectorT<Real>& bsv, double tol);
+
+extern template std::string check_lane_norms<double>(const BatchedStateVector&,
+                                                     double);
+extern template std::string check_lane_norms<float>(const BatchedStateVectorF&,
+                                                    double);
 
 }  // namespace qfab

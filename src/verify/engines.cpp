@@ -161,6 +161,56 @@ std::vector<EngineResult> run_exact_engines(const VerifyCase& c,
   return results;
 }
 
+std::string check_float32_leg(const VerifyCase& c, const EngineOptions& opt) {
+  const QuantumCircuit& qc = c.circuit;
+  const int n = qc.num_qubits();
+  const std::size_t gates = qc.gates().size();
+  const std::size_t split = std::min(c.split_gate, gates);
+  const std::vector<int> marg = marginal_qubits(n);
+
+  StateVector ref(n);
+  ref.apply_circuit(qc);
+
+  const FusedPlan plan(qc);
+  BatchedStateVectorF bsf(n, c.lanes);
+  apply_plan_range(plan, bsf, 0, split);
+  std::string violation = check_lane_norms(bsf, opt.f32_tol);
+  if (!violation.empty()) return "batched-f32: " + violation;
+  const int probe_lane = c.lanes - 1;
+  bsf.apply_pauli(probe_lane, Pauli::kX, 0);
+  bsf.apply_pauli(probe_lane, Pauli::kX, 0);
+  apply_plan_range(plan, bsf, split, gates);
+  violation = check_lane_norms(bsf, opt.f32_tol);
+  if (!violation.empty()) return "batched-f32: " + violation;
+
+  const std::vector<double> probs = bsf.lane_probabilities(0);
+  const auto lane_margs = bsf.all_lane_marginal_probabilities(marg);
+  const double d_full = max_abs_diff(probs, ref.probabilities());
+  const double d_marg =
+      max_abs_diff(lane_margs.front(), ref.marginal_probabilities(marg));
+  if (std::max(d_full, d_marg) > opt.f32_tol) {
+    std::ostringstream os;
+    os << "batched-f32 vs statevector: max |dp| = " << std::max(d_full, d_marg)
+       << " (f32 tol " << opt.f32_tol << ")";
+    return os.str();
+  }
+  for (int l = 1; l < c.lanes; ++l) {
+    const double d =
+        std::max(max_abs_diff(probs, bsf.lane_probabilities(l)),
+                 max_abs_diff(lane_margs.front(),
+                              lane_margs[static_cast<std::size_t>(l)]));
+    // Identical inputs through identical float32 arithmetic: lanes must
+    // agree bitwise, so any nonzero divergence is a lane-indexing defect.
+    if (d > 0.0) {
+      std::ostringstream os;
+      os << "batched-f32 lane " << l << " diverged from lane 0 by " << d
+         << " on identical inputs";
+      return os.str();
+    }
+  }
+  return {};
+}
+
 std::string check_noisy_channel(const VerifyCase& c,
                                 const EngineOptions& opt) {
   const int n = c.circuit.num_qubits();
@@ -211,6 +261,24 @@ std::string check_noisy_channel(const VerifyCase& c,
        << opt.tol << ")";
     return os.str();
   }
+  // Float32 replay leg: identical rng stream (events are pre-sampled, so
+  // the narrow tier consumes it exactly like the double tier), compared to
+  // the scalar double estimate at the float32 drift tolerance.
+  EstimatorOptions fopt = eopt;
+  fopt.precision = Precision::kFloat32;
+  Pcg64 rng_f32(stream, c.index);
+  const std::vector<double> est_f32 = estimate_channel_marginal_batched(
+      clean, errors, outputs, fopt, std::max(2, c.lanes), rng_f32);
+  violation = check_probability_simplex(est_f32, opt.tol);
+  if (!violation.empty()) return "estimator(float32): " + violation;
+  const double d_f32 = max_abs_diff(est_scalar, est_f32);
+  if (d_f32 > opt.f32_tol) {
+    std::ostringstream os;
+    os << "estimator double vs float32 replay: max |dp| = " << d_f32
+       << " (f32 tol " << opt.f32_tol << ")";
+    return os.str();
+  }
+
   const double tv = total_variation(est_scalar, exact);
   if (tv > opt.channel_tol) {
     std::ostringstream os;
@@ -266,6 +334,8 @@ std::string check_noisy_channel(const VerifyCase& c,
 std::string check_case(const VerifyCase& c, const EngineOptions& opt) {
   const std::vector<EngineResult> exact = run_exact_engines(c, opt);
   std::string failure = compare_engine_results(exact, opt.tol);
+  if (!failure.empty()) return failure;
+  failure = check_float32_leg(c, opt);
   if (!failure.empty()) return failure;
   if (opt.check_noisy) return check_noisy_channel(c, opt);
   return {};

@@ -42,6 +42,14 @@ struct EngineOptions {
   double channel_tol = 0.12;
   /// Trajectories per estimator leg.
   int error_trajectories = 96;
+  /// Agreement tolerance for the float32 legs: the batched float32 engine
+  /// vs the double reference, and the float32-replay estimator vs the
+  /// scalar double estimator. Float32 amplitudes round at ~1.2e-7 per op
+  /// and the drift compounds like a random walk over the case's gates, so
+  /// probabilities of the generator's circuits (<= a few hundred gates)
+  /// land within ~1e-5 of double; 1e-4 leaves an order of magnitude of
+  /// headroom while staying far below any real kernel defect.
+  double f32_tol = 1e-4;
   /// Disable the noisy leg (the shrinker does: the injected-fault search
   /// is an exact-engine property, and the noisy leg dominates runtime).
   bool check_noisy = true;
@@ -63,9 +71,17 @@ std::vector<int> marginal_qubits(int num_qubits);
 std::vector<EngineResult> run_exact_engines(const VerifyCase& c,
                                             const EngineOptions& opt);
 
-/// Run the noisy leg (exact channel vs estimators). Returns "" or the
-/// first violation.
+/// Run the noisy leg (exact channel vs estimators, double and float32
+/// replay). Returns "" or the first violation.
 std::string check_noisy_channel(const VerifyCase& c, const EngineOptions& opt);
+
+/// Float32 engine leg: the batched float32 engine through the same
+/// split + identity-probe protocol as the double batched leg, compared to
+/// the per-gate double reference at opt.f32_tol (see its doc for the
+/// tolerance rationale). Runs the fused kernels at whatever SIMD level is
+/// active, so an injected kernel fault (set_batch_fault_injection) is
+/// caught on the float32 tier too. Returns "" or a violation.
+std::string check_float32_leg(const VerifyCase& c, const EngineOptions& opt);
 
 /// Full verdict for one case: "" when every engine agrees and every
 /// invariant holds, else a one-line failure description.

@@ -1,11 +1,17 @@
 // Batched-engine validation: BatchedStateVector must match the scalar
 // StateVector/FusedPlan path to <= 1e-12 on random circuits over every
 // fused op kind — including mid-plan per-lane Pauli injections at every
-// gate index, ragged lane counts, and both kernel tables (the suite is
-// also re-run with QFAB_SIMD=scalar by the "scalar" CTest label).
+// gate index, ragged lane counts, and every kernel table the host
+// resolves (the suite is also re-run with QFAB_SIMD=scalar by the
+// "scalar" CTest label). Float32 lanes are pinned against double to a
+// bounded drift, and the precision-policy fallback must reproduce the
+// double path bit for bit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "exp/experiment.h"
@@ -14,6 +20,7 @@
 #include "noise/estimator.h"
 #include "sim/batch.h"
 #include "sim/fusion.h"
+#include "sim/invariants.h"
 
 namespace qfab {
 namespace {
@@ -70,11 +77,18 @@ QuantumCircuit random_circuit(int n, int gates, Pcg64& rng) {
   return qc;
 }
 
-/// Run both kernel tables through `body` (restores auto-detection after).
+/// Run every kernel table the host resolves through `body` — forcing an
+/// unsupported level degrades to the next one down, so duplicates are
+/// skipped by resolved name (restores auto-detection after).
 template <typename Body>
 void for_each_simd_mode(const Body& body) {
-  for (SimdMode mode : {SimdMode::kScalar, SimdMode::kAuto}) {
+  std::vector<std::string> seen;
+  for (SimdMode mode :
+       {SimdMode::kScalar, SimdMode::kAvx2, SimdMode::kAvx512}) {
     set_simd_mode(mode);
+    const std::string level = simd_mode_name();
+    if (std::find(seen.begin(), seen.end(), level) != seen.end()) continue;
+    seen.push_back(level);
     body(simd_mode_name());
   }
   set_simd_mode(SimdMode::kAuto);
@@ -523,6 +537,144 @@ TEST(BatchedSweep, RaggedGroupsMatchScalarSweep) {
       EXPECT_NEAR(b.sigma, a.sigma, 1e-9) << "lanes=" << lanes << " pt " << i;
     }
   }
+}
+
+/// Euclidean distance between one lane of each engine, straight off the
+/// raw planes (usable across precisions, where the float lane's norm may
+/// sit outside StateVector's construction tolerance). Fair as long as
+/// both lanes carry the same pending phase — true when both engines ran
+/// the same plan from the same inputs.
+template <typename RealA, typename RealB>
+double raw_lane_distance(const BatchedStateVectorT<RealA>& a,
+                         const BatchedStateVectorT<RealB>& b, int lane) {
+  double d = 0.0;
+  for (u64 i = 0; i < a.dim(); ++i) {
+    const std::size_t ia = i * static_cast<u64>(a.lanes()) + lane;
+    const std::size_t ib = i * static_cast<u64>(b.lanes()) + lane;
+    const double dr =
+        static_cast<double>(a.re()[ia]) - static_cast<double>(b.re()[ib]);
+    const double di =
+        static_cast<double>(a.im()[ia]) - static_cast<double>(b.im()[ib]);
+    d += dr * dr + di * di;
+  }
+  return std::sqrt(d);
+}
+
+TEST(Float32Engine, TracksDoubleWithinDriftBound) {
+  // Float32 lanes through the same plan must stay within a random-walk
+  // drift bound of the double engine (~eps_f32 * sqrt(gates) per
+  // amplitude; 1e-4 leaves generous headroom at 60 gates) and keep their
+  // norms, on every kernel table.
+  for_each_simd_mode([](const char* mode) {
+    Pcg64 rng(20260807, 21);
+    for (int trial = 0; trial < 6; ++trial) {
+      const int n = 4, lanes = 5;
+      const QuantumCircuit qc = random_circuit(n, 60, rng);
+      const FusedPlan plan(qc);
+      BatchedStateVector bsv(n, lanes);
+      BatchedStateVectorF bsf(n, lanes);
+      for (int l = 0; l < lanes; ++l) {
+        const StateVector init =
+            StateVector::from_amplitudes(random_state(n, rng));
+        bsv.set_lane(l, init);
+        bsf.set_lane(l, init);
+      }
+      apply_plan(plan, bsv);
+      apply_plan(plan, bsf);
+      EXPECT_EQ(check_lane_norms(bsf, 1e-4), "") << mode;
+      for (int l = 0; l < lanes; ++l) {
+        EXPECT_NEAR(bsf.lane_norm(l), 1.0, 1e-4) << mode << " lane=" << l;
+        EXPECT_LT(raw_lane_distance(bsf, bsv, l), 1e-4)
+            << mode << " trial=" << trial << " lane=" << l;
+      }
+    }
+  });
+}
+
+TEST(PrecisionPolicy, ResolvePrecisionHonorsBudget) {
+  RunOptions run;
+  // Explicit settings pass through untouched.
+  EXPECT_EQ(resolve_precision(run, 1000), Precision::kDouble);
+  run.precision = Precision::kFloat32;
+  run.float_drift_budget = 0.0;
+  EXPECT_EQ(resolve_precision(run, 1000), Precision::kFloat32);
+  // kAuto: predicted random-walk drift vs the budget.
+  run.precision = Precision::kAuto;
+  run.float_drift_budget = 1e-3;
+  EXPECT_EQ(resolve_precision(run, 100), Precision::kFloat32);
+  run.float_drift_budget = 1e-9;
+  EXPECT_EQ(resolve_precision(run, 100), Precision::kDouble);
+}
+
+TEST(PrecisionPolicy, Float32EstimatorTracksDoubleWithoutFallback) {
+  CircuitSpec spec;
+  spec.op = Operation::kAdd;
+  spec.n = 3;
+  const QuantumCircuit qc = build_transpiled_circuit(spec);
+  Pcg64 inst_rng(9, 1);
+  const ArithInstance inst =
+      generate_instances(1, 3, 3, OperandOrders{}, inst_rng)[0];
+  const CleanRun clean(qc, make_initial_state(spec, inst), 32);
+  const ErrorLocations errors(qc, NoiseModel{.p1q = 0.002, .p2q = 0.004});
+  const std::vector<int> out_q = output_qubits(spec);
+  EstimatorOptions est;
+  est.error_trajectories = 10;
+
+  Pcg64 rng_d(91, 3);
+  const auto dbl =
+      estimate_channel_marginal_batched(clean, errors, out_q, est, 8, rng_d);
+
+  est.precision = Precision::kFloat32;  // default 1e-3 budget: no trips
+  reset_precision_fallback_count();
+  Pcg64 rng_f(91, 3);
+  const auto f32 =
+      estimate_channel_marginal_batched(clean, errors, out_q, est, 8, rng_f);
+  EXPECT_EQ(precision_fallback_count(), 0);
+  ASSERT_EQ(f32.size(), dbl.size());
+  double dev = 0.0;
+  for (std::size_t i = 0; i < dbl.size(); ++i)
+    dev = std::max(dev, std::abs(f32[i] - dbl[i]));
+  EXPECT_LT(dev, 1e-4);
+  // Surviving float marginals are renormalized, so downstream simplex
+  // checks still hold at double tolerances.
+  EXPECT_EQ(check_probability_simplex(f32, 1e-9), "");
+  // Events are pre-sampled identically in both precisions.
+  EXPECT_EQ(rng_f(), rng_d());
+}
+
+TEST(PrecisionPolicy, TrippedBudgetFallsBackToDoubleBitForBit) {
+  // A zero drift budget trips the sentinel on every float32 replay group;
+  // the redo must reproduce the pure-double estimate bit for bit (the
+  // events were pre-sampled, so the replay consumes no extra rng) and
+  // count one fallback per replay group.
+  CircuitSpec spec;
+  spec.op = Operation::kAdd;
+  spec.n = 3;
+  const QuantumCircuit qc = build_transpiled_circuit(spec);
+  Pcg64 inst_rng(9, 2);
+  const ArithInstance inst =
+      generate_instances(1, 3, 3, OperandOrders{}, inst_rng)[0];
+  const CleanRun clean(qc, make_initial_state(spec, inst), 32);
+  const ErrorLocations errors(qc, NoiseModel{.p1q = 0.002, .p2q = 0.004});
+  const std::vector<int> out_q = output_qubits(spec);
+  EstimatorOptions est;
+  est.error_trajectories = 10;
+
+  Pcg64 rng_d(92, 3);
+  const auto dbl =
+      estimate_channel_marginal_batched(clean, errors, out_q, est, 8, rng_d);
+
+  est.precision = Precision::kFloat32;
+  est.float_drift_budget = 0.0;
+  reset_precision_fallback_count();
+  Pcg64 rng_f(92, 3);
+  const auto fell =
+      estimate_channel_marginal_batched(clean, errors, out_q, est, 8, rng_f);
+  EXPECT_GT(precision_fallback_count(), 0);
+  ASSERT_EQ(fell.size(), dbl.size());
+  for (std::size_t i = 0; i < dbl.size(); ++i)
+    EXPECT_EQ(fell[i], dbl[i]) << "bin " << i;  // bitwise
+  EXPECT_EQ(rng_f(), rng_d());
 }
 
 TEST(CdfSampler, MatchesLinearScanSemantics) {

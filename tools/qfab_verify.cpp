@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   opt.generator.max_gates = static_cast<int>(flags.get_int("max-gates", 48));
   opt.engines.tol = flags.get_double("tol", 1e-10);
   opt.engines.channel_tol = flags.get_double("channel-tol", 0.12);
+  opt.engines.f32_tol = flags.get_double("f32-tol", opt.engines.f32_tol);
   opt.engines.error_trajectories =
       static_cast<int>(flags.get_int("traj", 96));
   opt.engines.check_noisy = flags.get_bool("noisy", true);
