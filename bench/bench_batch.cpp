@@ -9,10 +9,13 @@
 // engine existed; "speedup_vs_single" tracks the end-to-end win per batch
 // size against the batch=1 time of the SAME SIMD level (float32 rows share
 // their level's double baseline — the scalar path has no float tier, so
-// that is the honest end-to-end comparison). Writes machine-readable
-// BENCH_batch.json with a "host" metadata block. Each case also
-// cross-checks the batched channel estimate against the scalar estimator
-// (<= 1e-9 in double; float32 at the replay drift tolerance).
+// that is the honest end-to-end comparison). "<case>_replay" rows time
+// JUST the pooled group-estimator replay over a pre-built batched clean
+// run at batch 4 and 16 (ms_per_lane / inst_per_sec are the lane-scaling
+// guard: the fused tile walk keeps batch=16 at or above batch=4). Writes
+// machine-readable BENCH_batch.json with a "host" metadata block. Each
+// case also cross-checks the batched channel estimate against the scalar
+// estimator (<= 1e-9 in double; float32 at the replay drift tolerance).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -42,6 +45,7 @@ struct BenchRow {
   std::size_t gates = 0;
   int instances = 0;
   double point_ms = 0.0;       // one sweep point: all instances, one rate
+  double ms_per_lane = 0.0;    // point_ms / batch lanes
   double inst_per_sec = 0.0;
   double speedup_vs_single = 0.0;  // vs batch=1 of the same SIMD level
 };
@@ -96,6 +100,39 @@ void run_point(const Case& c, const QuantumCircuit& qc,
   }
 }
 
+/// End-to-end trajectory replay for one batched group: the pooled group
+/// estimator over a PRE-BUILT batched clean run, so only the replay is on
+/// the clock. This is the lane-scaling metric: the per-split driver's
+/// full-vector traffic grew with the merged injection-site count (~lanes ×
+/// trajectories), inverting inst/sec between batch 4 and 16; the fused
+/// tile walk restores batch=16 >= batch=4.
+double replay_ms(const Case& c, const QuantumCircuit& qc,
+                 const std::shared_ptr<const FusedPlan>& plan,
+                 const std::vector<ArithInstance>& instances,
+                 const NoiseModel& noise, int lanes, Precision precision,
+                 int reps) {
+  std::vector<StateVector> initials;
+  initials.reserve(static_cast<std::size_t>(lanes));
+  for (int m = 0; m < lanes; ++m)
+    initials.push_back(make_initial_state(
+        c.spec, instances[static_cast<std::size_t>(m) % instances.size()]));
+  const BatchedCleanRun clean(plan, initials);
+  const ErrorLocations errors(qc, noise);
+  const std::vector<int> out_q = output_qubits(c.spec);
+  EstimatorOptions est;
+  est.precision = precision;
+  return time_ms(
+      [&] {
+        std::vector<Pcg64> rngs;
+        rngs.reserve(static_cast<std::size_t>(lanes));
+        for (int m = 0; m < lanes; ++m)
+          rngs.emplace_back(0xB41CULL, static_cast<std::uint64_t>(m));
+        (void)estimate_channel_marginals_batched(clean, errors, out_q, est,
+                                                 rngs);
+      },
+      reps);
+}
+
 void cross_check(const Case& c, const QuantumCircuit& qc,
                  const std::shared_ptr<const FusedPlan>& plan,
                  const ArithInstance& inst, const NoiseModel& noise,
@@ -141,6 +178,7 @@ void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
         << ", \"gates\": " << r.gates
         << ", \"instances\": " << r.instances
         << ", \"point_ms\": " << r.point_ms
+        << ", \"ms_per_lane\": " << r.ms_per_lane
         << ", \"inst_per_sec\": " << r.inst_per_sec
         << ", \"speedup_vs_single\": " << r.speedup_vs_single << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
@@ -225,9 +263,30 @@ int run(int argc, const char* const* argv) {
           row.gates = qc.gates().size();
           row.instances = n_inst;
           row.point_ms = ms;
+          row.ms_per_lane = ms / static_cast<double>(batch);
           row.inst_per_sec = static_cast<double>(n_inst) / (ms / 1e3);
           if (precision == Precision::kDouble && batch == 1) single_ms = ms;
           row.speedup_vs_single = single_ms > 0.0 ? single_ms / ms : 0.0;
+          rows.push_back(row);
+        }
+        // The replay-only metric (group estimator over a pre-built clean
+        // run) at the two lane counts whose ordering the tile walk fixed.
+        for (long batch : batches) {
+          if (batch != 4 && batch != 16) continue;
+          const double ms = replay_ms(c, qc, plan, instances, noise,
+                                      static_cast<int>(batch), precision,
+                                      reps);
+          BenchRow row;
+          row.name = c.name + "_replay";
+          row.simd = level;
+          row.precision = precision_name(precision);
+          row.batch = static_cast<int>(batch);
+          row.num_qubits = qc.num_qubits();
+          row.gates = qc.gates().size();
+          row.instances = static_cast<int>(batch);
+          row.point_ms = ms;
+          row.ms_per_lane = ms / static_cast<double>(batch);
+          row.inst_per_sec = static_cast<double>(batch) / (ms / 1e3);
           rows.push_back(row);
         }
       }
@@ -236,10 +295,11 @@ int run(int argc, const char* const* argv) {
   }
 
   TextTable table({"case", "simd", "precision", "batch", "gates", "point_ms",
-                   "inst/sec", "speedup"});
+                   "ms/lane", "inst/sec", "speedup"});
   for (const BenchRow& r : rows)
     table.add_row({r.name, r.simd, r.precision, std::to_string(r.batch),
                    std::to_string(r.gates), fmt_double(r.point_ms, 1),
+                   fmt_double(r.ms_per_lane, 2),
                    fmt_double(r.inst_per_sec, 1),
                    fmt_double(r.speedup_vs_single, 2)});
   table.print(std::cout);

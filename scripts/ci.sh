@@ -57,10 +57,12 @@ crash_resume_smoke() {
 }
 
 # Bounded batched-throughput smoke against the checked-in baseline: rerun
-# the batch=8 rows of bench_batch and fail if any (case, simd, precision)
-# row's inst_per_sec drops more than 30% below results/BENCH_batch.json.
-# The 30% band plus median-of-reps timing absorbs normal scheduler noise;
-# the baseline is host-specific, so set QFAB_SKIP_PERF=1 on other machines.
+# the batch={4,8,16} rows of bench_batch — the end-to-end sweep points AND
+# the "<case>_replay" lane-scaling rows — and fail if any (case, simd,
+# precision, batch) row's inst_per_sec drops more than 30% below
+# results/BENCH_batch.json. The 30% band plus median-of-reps timing
+# absorbs normal scheduler noise; the baseline is host-specific, so set
+# QFAB_SKIP_PERF=1 on other machines.
 perf_smoke() {
   local name="$1"
   local builddir="build-ci-${name}"
@@ -73,7 +75,7 @@ perf_smoke() {
     return
   fi
   echo "== ${name}: batched perf smoke (bounded) =="
-  "./${builddir}/bench/bench_batch" --instances 8 --reps 3 --batches 8 \
+  "./${builddir}/bench/bench_batch" --instances 8 --reps 3 --batches 4,8,16 \
     --out "${builddir}/BENCH_batch_smoke.json" >/dev/null
   python3 - "${builddir}/BENCH_batch_smoke.json" results/BENCH_batch.json <<'PY'
 import json, sys

@@ -1,6 +1,7 @@
 #include "common/cli.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -15,10 +16,16 @@ bool starts_with(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
 /// strtol with full validation: empty strings, trailing garbage, and
-/// out-of-range values (ERANGE clamps silently otherwise) all fail.
+/// out-of-range values (ERANGE clamps silently otherwise) all fail. The
+/// first character must start the number itself — strtol would silently
+/// skip leading whitespace and accept a '+' sign, making `" 3"` parse
+/// while `"3 "` is rejected — so anything but a digit or '-' fails.
 bool parse_long(const std::string& s, long& out) {
   if (s.empty()) return false;
+  if (!is_digit(s[0]) && s[0] != '-') return false;
   char* end = nullptr;
   errno = 0;
   out = std::strtol(s.c_str(), &end, 10);
@@ -26,13 +33,17 @@ bool parse_long(const std::string& s, long& out) {
 }
 
 /// strtod with the same validation (overflow to ±HUGE_VAL and underflow
-/// both set ERANGE and are rejected rather than clamped).
+/// both set ERANGE and are rejected rather than clamped). The same
+/// no-prefix rule applies — a digit, '-' or '.' must come first, which
+/// also shuts out strtod's "inf"/"nan" spellings.
 bool parse_double(const std::string& s, double& out) {
   if (s.empty()) return false;
+  if (!is_digit(s[0]) && s[0] != '-' && s[0] != '.') return false;
   char* end = nullptr;
   errno = 0;
   out = std::strtod(s.c_str(), &end);
-  return end != s.c_str() && *end == '\0' && errno != ERANGE;
+  return end != s.c_str() && *end == '\0' && errno != ERANGE &&
+         std::isfinite(out);  // "-inf" slips past the prefix rule
 }
 
 }  // namespace

@@ -27,6 +27,7 @@ struct ReplayWorkspace {
   std::vector<std::vector<double>> margs;  // per-lane group marginals
   std::vector<double> acc;                 // lane-minor accumulation plane
   std::vector<double> marg;                // scalar-path marginal
+  std::vector<double> lane_sums;           // per-lane marginal sums (norm²)
 };
 
 ReplayWorkspace& replay_workspace(std::unique_ptr<ReplayWorkspace>& local) {
@@ -62,21 +63,24 @@ void replay_group_marginals(const FusedPlan& plan, std::size_t g0,
     seed(ws.bsf);
     run_trajectories_batched(plan, ws.bsf, g0, events);
     ws.bsf.all_lane_marginal_probabilities(output_qubits, ws.margs, ws.acc);
+    // One pass over the marginal planes serves both the sentinel and the
+    // normalization: each lane's sum is computed once, checked against the
+    // drift budget, and reused as the normalizer.
+    ws.lane_sums.resize(ws.margs.size());
     bool ok = true;
-    for (const std::vector<double>& m : ws.margs) {
+    for (std::size_t l = 0; l < ws.margs.size(); ++l) {
       double s = 0.0;
-      for (double v : m) s += v;
+      for (double v : ws.margs[l]) s += v;
+      ws.lane_sums[l] = s;
       if (!(std::abs(s - 1.0) <= drift_budget)) {  // catches NaN too
         ok = false;
         break;
       }
     }
     if (ok) {
-      for (std::vector<double>& m : ws.margs) {
-        double s = 0.0;
-        for (double v : m) s += v;
-        const double inv = 1.0 / s;
-        for (double& v : m) v *= inv;
+      for (std::size_t l = 0; l < ws.margs.size(); ++l) {
+        const double inv = 1.0 / ws.lane_sums[l];
+        for (double& v : ws.margs[l]) v *= inv;
       }
       return;
     }
@@ -380,8 +384,12 @@ std::vector<std::vector<double>> estimate_channel_marginals_batched(
   // share nearly all of their ideal prefix, so each group's batched replay
   // from the common resume point wastes little work and its injection
   // sites cluster into few fused ops. Marginals are written back per
-  // (member, original sample index), so the estimate is packing-
-  // independent up to replay rounding.
+  // (member, original sample index), and the fused walk replays each
+  // lane with exactly the decomposition its trajectory would get solo
+  // from the same resume point (see run_trajectories_batched) — what
+  // varies with the packing is only the group resume gate, so the
+  // estimate is packing-independent up to replay rounding on that
+  // shared prefix.
   std::vector<std::vector<std::vector<ErrorEvent>>> all_events(
       L, std::vector<std::vector<ErrorEvent>>(T));
   struct Traj {

@@ -174,9 +174,12 @@ std::vector<double> estimate_channel_marginal_batched(
 /// members' trajectories are pooled, sorted by first-error site, and
 /// packed lanes-at-a-time: each batched pass replays one tight band of
 /// sites, so the lanes share almost all of their ideal suffix and the
-/// injection splits cluster into few fused ops. Each member's estimate is
-/// within replay rounding of its scalar estimate and independent of the
-/// packing. rngs.size() must equal clean.lanes().
+/// injection splits cluster into few fused ops. The fused walk gives each
+/// lane exactly the decomposition its trajectory would get replayed solo
+/// from the group's resume gate — only that resume point varies with the
+/// packing — so each member's estimate is independent of the packing up
+/// to replay rounding, and within replay rounding of its scalar estimate.
+/// rngs.size() must equal clean.lanes().
 std::vector<std::vector<double>> estimate_channel_marginals_batched(
     const BatchedCleanRun& clean, const ErrorLocations& errors,
     const std::vector<int>& output_qubits, const EstimatorOptions& options,

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "common/fault.h"
 
 namespace qfab {
 
@@ -312,25 +315,23 @@ template void BatchedCleanRun::load_states_at<double>(
 template void BatchedCleanRun::load_states_at<float>(
     std::size_t, const std::vector<int>&, BatchedStateVectorF&) const;
 
-template <typename Real>
-void run_trajectories_batched(
-    const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
-    std::size_t start_gates,
-    const std::vector<std::vector<ErrorEvent>>& lane_events) {
-  QFAB_CHECK(lane_events.size() == static_cast<std::size_t>(bsv.lanes()));
-  const auto& gates = plan.circuit().gates();
-  const std::size_t total = plan.gate_count();
+namespace {
 
-  // Merge every lane's events into one ascending injection schedule; the
-  // stable sort keeps same-site injections in lane order (the order never
-  // matters physically — Paulis on different lanes commute — but it keeps
-  // the execution deterministic).
-  struct Injection {
-    std::size_t site;  // gate count at which the Pauli lands (index + 1)
-    int lane;
-    std::size_t gate_index;
-    Pauli pauli0, pauli1;
-  };
+/// One merged per-lane Pauli insertion of a batched trajectory group.
+struct Injection {
+  std::size_t site;  // gate count at which the Pauli lands (index + 1)
+  int lane;
+  std::size_t gate_index;
+  Pauli pauli0, pauli1;
+};
+
+/// Merge every lane's events into one ascending injection schedule; the
+/// stable sort keeps same-site injections in lane order (the order never
+/// matters physically — Paulis on different lanes commute — but it keeps
+/// the execution deterministic).
+std::vector<Injection> merge_schedule(
+    const std::vector<std::vector<ErrorEvent>>& lane_events,
+    std::size_t start_gates, std::size_t total) {
   std::vector<Injection> schedule;
   for (std::size_t l = 0; l < lane_events.size(); ++l) {
     QFAB_CHECK(std::is_sorted(lane_events[l].begin(), lane_events[l].end(),
@@ -348,6 +349,207 @@ void run_trajectories_batched(
                    [](const Injection& a, const Injection& b) {
                      return a.site < b.site;
                    });
+  return schedule;
+}
+
+/// Append walk steps covering original gates [gate_begin, gate_end) for
+/// lanes [lane_begin, lane_begin + lane_count), decomposed exactly as
+/// apply_range does: maximal runs of fully covered ops come from the root
+/// plan, and op-interior slices come from its cached subrange plans (a
+/// 1-gate slice compiles to a demoted kGate op, the same per-gate kernel
+/// the per-gate fallback ran, so each lane's decomposition stays bitwise
+/// aligned with the scalar reference replay of its own trajectory). The
+/// subrange plans are owned by the root plan's cache, which outlives the
+/// walk.
+void append_range_steps(const FusedPlan& plan, std::size_t gate_begin,
+                        std::size_t gate_end, int lane_begin, int lane_count,
+                        std::vector<BatchWalkStep>& steps) {
+  const auto& ops = plan.ops();
+  std::size_t g = gate_begin;
+  while (g < gate_end) {
+    const std::size_t oi = plan.op_of_gate(g);
+    const FusedOp& op = ops[oi];
+    if (op.gate_begin == g && op.gate_end <= gate_end) {
+      std::size_t oj = oi;
+      while (oj < ops.size() && ops[oj].gate_end <= gate_end) {
+        steps.push_back(
+            BatchWalkStep::op_span_step(&plan, oj, lane_begin, lane_count));
+        ++oj;
+      }
+      g = ops[oj - 1].gate_end;
+    } else {
+      const std::size_t stop = std::min(gate_end, op.gate_end);
+      const FusedPlan& sub = plan.subrange_plan(g, stop);
+      for (std::size_t k = 0; k < sub.op_count(); ++k)
+        steps.push_back(
+            BatchWalkStep::op_span_step(&sub, k, lane_begin, lane_count));
+      g = stop;
+    }
+  }
+}
+
+// Batched counterpart of the QFAB_FAULT nan-at-gate hook in
+// apply_plan_range: the walk replaces the per-split passes, so it takes
+// the (single) charge for the whole replayed range itself.
+template <typename Real>
+void maybe_inject_nan(BatchedStateVectorT<Real>& bsv, std::size_t gate_begin,
+                      std::size_t gate_end) {
+  if (fault::nan_fault_active() && fault::take_nan_charge(gate_begin, gate_end))
+    bsv.re()[0] = std::numeric_limits<Real>::quiet_NaN();
+}
+
+}  // namespace
+
+template <typename Real>
+void run_trajectories_batched(
+    const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
+    std::size_t start_gates,
+    const std::vector<std::vector<ErrorEvent>>& lane_events) {
+  QFAB_CHECK(lane_events.size() == static_cast<std::size_t>(bsv.lanes()));
+  const auto& gates = plan.circuit().gates();
+  const std::size_t total = plan.gate_count();
+  const std::vector<Injection> schedule =
+      merge_schedule(lane_events, start_gates, total);
+
+  // Fused tile walk over a PER-LANE schedule: the whole replay — shared
+  // gate segments, per-lane op slices, and the Paulis between them —
+  // flattens into one step sequence, and apply_batch_walk loads each
+  // L1-sized amplitude tile once per maximal run instead of once per
+  // injection site. Two properties remove the lane-scaling regression of
+  // the per-split driver (kept as run_trajectories_batched_split, whose
+  // full-vector traffic grew with the merged schedule length):
+  //
+  //  * op-interior splits are priced per lane, not per batch: only the
+  //    lane whose Pauli lands inside a fused op takes that op as subrange
+  //    slices (single-lane spans, 1/L of a pass each); every other lane
+  //    takes the fused op whole in bystander spans. The per-trajectory
+  //    replay cost is therefore flat in the lane count, and each lane's
+  //    arithmetic is exactly the decomposition the scalar reference
+  //    (run_trajectory) performs for that trajectory alone — independent
+  //    of which trajectories share the batch (packing-invariant bitwise;
+  //    the split driver's merged decomposition deviates from this at the
+  //    re-association level, ~1e-15 in double).
+  //  * tiles walk in XOR-groups (see apply_batch_walk), so high-qubit ops
+  //    and Paulis never force full-width passes between runs.
+  const int L = bsv.lanes();
+  std::vector<BatchWalkStep> steps;
+  steps.reserve(plan.op_count() + 4 * schedule.size());
+  const auto& ops = plan.ops();
+  const auto emit_paulis = [&](const Injection& inj) {
+    const Gate& g = gates[inj.gate_index];
+    if (inj.pauli0 != Pauli::kI)
+      steps.push_back(
+          BatchWalkStep::pauli_step(inj.lane, inj.pauli0, g.qubits[0]));
+    if (inj.pauli1 != Pauli::kI) {
+      QFAB_CHECK(g.arity() >= 2);
+      steps.push_back(
+          BatchWalkStep::pauli_step(inj.lane, inj.pauli1, g.qubits[1]));
+    }
+  };
+
+  std::size_t applied = start_gates;
+  std::size_t si = 0;
+  // Paulis at the resume point precede every replayed gate.
+  while (si < schedule.size() && schedule[si].site <= applied) {
+    emit_paulis(schedule[si]);
+    ++si;
+  }
+  std::vector<std::vector<std::size_t>> lane_injs(
+      static_cast<std::size_t>(L));
+  while (applied < total) {
+    if (si >= schedule.size()) {  // no more injections: clean tail
+      append_range_steps(plan, applied, total, 0, L, steps);
+      applied = total;
+      break;
+    }
+    const std::size_t site = schedule[si].site;
+    // Is the next site interior to a fused op, or on an op boundary?
+    const FusedOp* host =
+        site < total ? &ops[plan.op_of_gate(site)] : nullptr;
+    if (host == nullptr || host->gate_begin == site) {
+      // Boundary site: shared clean segment up to it, then its Paulis in
+      // schedule order.
+      append_range_steps(plan, applied, site, 0, L, steps);
+      applied = site;
+      while (si < schedule.size() && schedule[si].site == applied) {
+        emit_paulis(schedule[si]);
+        ++si;
+      }
+      continue;
+    }
+    // Interior site: shared clean segment up to its host op, then the
+    // host op decomposed per lane.
+    const std::size_t he = host->gate_end;
+    const std::size_t op_lo = std::max(host->gate_begin, applied);
+    if (op_lo > applied) {
+      append_range_steps(plan, applied, op_lo, 0, L, steps);
+      applied = op_lo;
+    }
+    std::size_t sj = si;
+    while (sj < schedule.size() && schedule[sj].site < he) ++sj;
+    for (auto& v : lane_injs) v.clear();
+    for (std::size_t k = si; k < sj; ++k)
+      lane_injs[static_cast<std::size_t>(schedule[k].lane)].push_back(k);
+    // Bystander lanes (no split inside this op) take it fused, in
+    // maximal contiguous spans.
+    int seg = 0;
+    for (int l = 0; l <= L; ++l) {
+      const bool event_lane =
+          l < L && !lane_injs[static_cast<std::size_t>(l)].empty();
+      if (l == L || event_lane) {
+        if (l > seg)
+          append_range_steps(plan, applied, he, seg, l - seg, steps);
+        seg = l + 1;
+      }
+    }
+    // Each event lane replays the op as its own slices with its Paulis
+    // interleaved — the scalar reference decomposition for that lane's
+    // sites alone.
+    for (int l = 0; l < L; ++l) {
+      const auto& inj_idx = lane_injs[static_cast<std::size_t>(l)];
+      if (inj_idx.empty()) continue;
+      std::size_t a = applied;
+      for (const std::size_t k : inj_idx) {
+        if (schedule[k].site > a) {
+          append_range_steps(plan, a, schedule[k].site, l, 1, steps);
+          a = schedule[k].site;
+        }
+        emit_paulis(schedule[k]);
+      }
+      if (a < he) append_range_steps(plan, a, he, l, 1, steps);
+    }
+    si = sj;
+    applied = he;
+  }
+  // Site `total` (an error on the last gate, whose Paulis land after the
+  // whole circuit) is reached without a boundary visit when the final
+  // fused op ends at `total` and the interior branch above consumed it:
+  // that branch only collects sites < gate_end, so flush the remainder.
+  for (; si < schedule.size(); ++si) {
+    QFAB_CHECK(schedule[si].site == total);
+    emit_paulis(schedule[si]);
+  }
+  apply_batch_walk(plan, bsv, steps.data(), steps.size());
+  maybe_inject_nan(bsv, start_gates, total);
+}
+
+template void run_trajectories_batched<double>(
+    const FusedPlan&, BatchedStateVector&, std::size_t,
+    const std::vector<std::vector<ErrorEvent>>&);
+template void run_trajectories_batched<float>(
+    const FusedPlan&, BatchedStateVectorF&, std::size_t,
+    const std::vector<std::vector<ErrorEvent>>&);
+
+template <typename Real>
+void run_trajectories_batched_split(
+    const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
+    std::size_t start_gates,
+    const std::vector<std::vector<ErrorEvent>>& lane_events) {
+  QFAB_CHECK(lane_events.size() == static_cast<std::size_t>(bsv.lanes()));
+  const auto& gates = plan.circuit().gates();
+  const std::size_t total = plan.gate_count();
+  const std::vector<Injection> schedule =
+      merge_schedule(lane_events, start_gates, total);
 
   std::size_t applied = start_gates;
   for (const Injection& inj : schedule) {
@@ -365,10 +567,10 @@ void run_trajectories_batched(
   apply_plan_range(plan, bsv, applied, total);
 }
 
-template void run_trajectories_batched<double>(
+template void run_trajectories_batched_split<double>(
     const FusedPlan&, BatchedStateVector&, std::size_t,
     const std::vector<std::vector<ErrorEvent>>&);
-template void run_trajectories_batched<float>(
+template void run_trajectories_batched_split<float>(
     const FusedPlan&, BatchedStateVectorF&, std::size_t,
     const std::vector<std::vector<ErrorEvent>>&);
 

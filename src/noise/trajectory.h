@@ -207,14 +207,42 @@ class BatchedCleanRun {
 
 /// Advance every lane of `bsv` — pre-loaded with its trajectory's state
 /// after `start_gates` gates — through the rest of the plan, injecting
-/// lane_events[l] into lane l at the exact gate sites. Shared gate segments
-/// between injection sites execute batched; each injection is a per-lane
-/// Pauli between segments. Each lane's events must be sorted by gate_index
-/// with first site >= start_gates (site = gate_index + 1). The circuit
-/// global phase is NOT applied (mirrors run_trajectory). Instantiated for
-/// both replay precisions (see Precision in sim/batch.h).
+/// lane_events[l] into lane l at the exact gate sites. Each lane's events
+/// must be sorted by gate_index with first site >= start_gates (site =
+/// gate_index + 1). The circuit global phase is NOT applied (mirrors
+/// run_trajectory). Instantiated for both replay precisions (see Precision
+/// in sim/batch.h).
+///
+/// Execution is a fused tile walk (apply_batch_walk in sim/batch.h): the
+/// shared gate segments and the per-lane Paulis between them flatten into
+/// one step sequence, and every maximal run of tile-eligible steps takes a
+/// single pass over the amplitude tiles — so the replay cost no longer
+/// grows with the number of distinct injection sites (which is ~lanes ×
+/// events/lane for a batched group). Op-interior sites decompose the host
+/// op per lane: each lane's arithmetic is exactly the scalar
+/// run_trajectory decomposition of its own trajectory, so a lane's replay
+/// is bitwise independent of which trajectories share the batch, and
+/// agreement with the per-split reference below is at re-association
+/// level (<= 1e-12 double) rather than bitwise. Raw-plane comparisons
+/// must fold each lane's pending phase (lane_pending_phase): fused tables
+/// carry absolute phases in the amplitudes while sliced application
+/// routes the same phase through the deferred accumulator.
 template <typename Real>
 void run_trajectories_batched(
+    const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
+    std::size_t start_gates,
+    const std::vector<std::vector<ErrorEvent>>& lane_events);
+
+/// The pre-walk reference driver: one apply_plan_range pass per distinct
+/// injection site, per-lane Paulis full-width between passes. Same
+/// contract; kept as the equivalence oracle for tests and the
+/// before/after bench comparison (states agree to re-association
+/// rounding — it slices every lane at the merged schedule's sites, the
+/// walk only at each lane's own). Its full-vector traffic scales with the
+/// merged schedule length, which is the lane-scaling regression the walk
+/// driver removes.
+template <typename Real>
+void run_trajectories_batched_split(
     const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
     std::size_t start_gates,
     const std::vector<std::vector<ErrorEvent>>& lane_events);
@@ -223,6 +251,12 @@ extern template void run_trajectories_batched<double>(
     const FusedPlan&, BatchedStateVector&, std::size_t,
     const std::vector<std::vector<ErrorEvent>>&);
 extern template void run_trajectories_batched<float>(
+    const FusedPlan&, BatchedStateVectorF&, std::size_t,
+    const std::vector<std::vector<ErrorEvent>>&);
+extern template void run_trajectories_batched_split<double>(
+    const FusedPlan&, BatchedStateVector&, std::size_t,
+    const std::vector<std::vector<ErrorEvent>>&);
+extern template void run_trajectories_batched_split<float>(
     const FusedPlan&, BatchedStateVectorF&, std::size_t,
     const std::vector<std::vector<ErrorEvent>>&);
 

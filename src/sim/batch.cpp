@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +49,13 @@ struct BatchKernelTable {
                int, const cplx*);
   void (*phase_on_bit)(Real*, Real*, u64, u64, u64, u64, int, cplx);
   void (*gate)(Real*, Real*, u64, u64, u64, u64, const Gate&);
+  // Group-walk variants: correct at any qubit span relative to the chunk,
+  // pairing with XOR-sibling tiles through absolute row offsets (the group
+  // walk in apply_batch_walk keeps those tiles resident). Same row bodies
+  // as the contiguous kernels, so results are bitwise identical.
+  void (*matrix1g)(Real*, Real*, u64, u64, u64, u64, int, const cplx*);
+  void (*matrix2g)(Real*, Real*, u64, u64, u64, u64, int, int, const cplx*);
+  void (*gateg)(Real*, Real*, u64, u64, u64, u64, const Gate&);
 };
 
 #define QFAB_RESTRICT __restrict__
@@ -548,6 +556,23 @@ void add_pending(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
   }
 }
 
+/// add_pending scoped to a contiguous lane span (walk op steps carry one):
+/// the same per-lane `+=` the full-width overload performs, restricted to
+/// lanes [lane_begin, lane_begin + lane_count).
+template <typename Real>
+void add_pending_span(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
+                      const FusedOp& op, int lane_begin, int lane_count) {
+  if (op.kind == FusedOp::Kind::kGate) {
+    const Gate& gate = plan.circuit().gates()[op.gate_begin];
+    if (gate.kind != GateKind::kRZ) return;
+    for (int l = lane_begin; l < lane_begin + lane_count; ++l)
+      bsv.apply_lane_global_phase(l, -gate.params[0] / 2);
+  } else if (op.kind == FusedOp::Kind::kDiagonal && op.qubits.empty()) {
+    for (int l = lane_begin; l < lane_begin + lane_count; ++l)
+      bsv.apply_lane_global_phase(l, std::arg(op.phases[0]));
+  }
+}
+
 template <typename Real>
 void apply_chunk(const BatchKernelTable<Real>& K, const FusedPlan& plan,
                  Real* re, Real* im, u64 base, u64 len, u64 L, u64 G,
@@ -579,10 +604,35 @@ void apply_chunk(const BatchKernelTable<Real>& K, const FusedPlan& plan,
   }
 }
 
-/// Diagonal ops only touch each row once and key off the global row index,
-/// so they tile at ANY qubit span; everything else must fit the tile.
-bool tile_eligible(const FusedOp& op, int tb) {
-  return op.kind == FusedOp::Kind::kDiagonal || op.max_qubit < tb;
+/// Group-walk chunk dispatch for ops whose coupling mask reaches at or
+/// above the tile: routes through the *g kernel variants, which address
+/// the XOR-partner rows absolutely in the sibling tiles the group walk
+/// keeps resident. Diagonal ops never couple rows and stay on the
+/// ordinary global-keyed kernels.
+template <typename Real>
+void apply_chunk_group(const BatchKernelTable<Real>& K, const FusedPlan& plan,
+                       Real* re, Real* im, u64 base, u64 len, u64 L, u64 G,
+                       const FusedOp& op) {
+  switch (op.kind) {
+    case FusedOp::Kind::kMatrix1:
+      if (detail::batch_fault_injection()) {
+        // Emulated kernel regression (see batch.h): one flipped sign.
+        const cplx m[4] = {op.m[0], op.m[1], op.m[2], -op.m[3]};
+        K.matrix1g(re, im, base, len, L, G, op.q0, m);
+        return;
+      }
+      K.matrix1g(re, im, base, len, L, G, op.q0, op.m.data());
+      return;
+    case FusedOp::Kind::kMatrix2:
+      K.matrix2g(re, im, base, len, L, G, op.q0, op.q1, op.m.data());
+      return;
+    case FusedOp::Kind::kDiagonal:
+      apply_chunk(K, plan, re, im, base, len, L, G, op);
+      return;
+    case FusedOp::Kind::kGate:
+      K.gateg(re, im, base, len, L, G, plan.circuit().gates()[op.gate_begin]);
+      return;
+  }
 }
 
 /// Apply whole ops [op_lo, op_hi), cache-blocked lane-aware:
@@ -610,19 +660,15 @@ void apply_ops_batched(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
   Real* im = bsv.im();
   const u64 L = static_cast<u64>(bsv.lanes());
   const u64 n = bsv.dim();
-  // Rows per tile: keep rows × L lanes × 2 planes × sizeof(Real) equal to
-  // the scalar path's 2^tile_bits × sizeof(cplx) L1 budget.
-  int tb = plan.options().tile_bits + 4 -
-           ceil_log2(2 * L * static_cast<u64>(sizeof(Real)));
-  tb = std::max(tb, 4);
-  tb = std::min(tb, bsv.num_qubits());
+  const int tb = batched_tile_rows_log2(plan.options(), bsv.lanes(),
+                                        bsv.num_qubits(), sizeof(Real));
   const u64 tile = u64{1} << tb;
 
   std::size_t i = op_lo;
   while (i < op_hi) {
-    if (tile_eligible(ops[i], tb)) {
+    if (plan.op_tile_eligible(i, tb)) {
       std::size_t j = i;
-      while (j < op_hi && tile_eligible(ops[j], tb)) ++j;
+      while (j < op_hi && plan.op_tile_eligible(j, tb)) ++j;
       for (std::size_t k = i; k < j; ++k) add_pending(plan, bsv, ops[k]);
       for (u64 base = 0; base < n; base += tile)
         for (std::size_t k = i; k < j; ++k)
@@ -631,7 +677,7 @@ void apply_ops_batched(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
       i = j;
     } else {
       std::size_t j = i;
-      while (j < op_hi && !tile_eligible(ops[j], tb)) ++j;
+      while (j < op_hi && !plan.op_tile_eligible(j, tb)) ++j;
       for (std::size_t k = i; k < j; ++k) add_pending(plan, bsv, ops[k]);
       for (std::size_t k = i; k < j; ++k)
         apply_chunk(K, plan, re, im, 0, n, L, L, ops[k]);
@@ -654,6 +700,91 @@ void apply_gates_batched(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
     if (gate.kind == GateKind::kRZ)
       bsv.apply_global_phase(-gate.params[0] / 2);
     K.gate(re, im, 0, n, L, L, gate);
+  }
+}
+
+/// Single-lane Pauli on the amplitude rows [base, base + len) of the
+/// global vector, with re/im already offset to base * L (the tile walk's
+/// chunk contract). The arithmetic per amplitude is exactly
+/// BatchedStateVectorT::apply_pauli's — swaps, negations and sign flips,
+/// all exact — only restricted to the tile:
+///  - X/Y pair rows within the chunk when 2^q < len; at or above the
+///    chunk they pair with the XOR-sibling tile 2^q rows up (the group
+///    walk keeps it resident), the clear tile writing both sides;
+///  - Z keys off the GLOBAL row index, so a bit at or above the chunk
+///    negates the whole tile or leaves it untouched (base decides), which
+///    is what makes Z tile-eligible at any qubit span.
+template <typename Real>
+void apply_pauli_rows(Real* re, Real* im, u64 base, u64 len, u64 L, int lane,
+                      Pauli p, int q) {
+  const u64 col = static_cast<u64>(lane);
+  const u64 bit = u64{1} << q;
+  switch (p) {
+    case Pauli::kI:
+      return;
+    case Pauli::kX:
+      if (bit >= len) {
+        if (base & bit) return;  // partner side; the clear tile does both
+        for (u64 off = 0; off < len; ++off) {
+          const u64 i0 = off * L + col;
+          const u64 i1 = (off + bit) * L + col;
+          std::swap(re[i0], re[i1]);
+          std::swap(im[i0], im[i1]);
+        }
+        return;
+      }
+      for (u64 lo = 0; lo < len; lo += 2 * bit)
+        for (u64 off = 0; off < bit; ++off) {
+          const u64 i0 = (lo + off) * L + col;
+          const u64 i1 = (lo + off + bit) * L + col;
+          std::swap(re[i0], re[i1]);
+          std::swap(im[i0], im[i1]);
+        }
+      return;
+    case Pauli::kY:
+      if (bit >= len) {
+        if (base & bit) return;  // partner side; the clear tile does both
+        for (u64 off = 0; off < len; ++off) {
+          const u64 i0 = off * L + col;
+          const u64 i1 = (off + bit) * L + col;
+          const Real v0r = re[i0], v0i = im[i0];
+          const Real v1r = re[i1], v1i = im[i1];
+          re[i0] = v1i;   // -i * v1
+          im[i0] = -v1r;
+          re[i1] = -v0i;  //  i * v0
+          im[i1] = v0r;
+        }
+        return;
+      }
+      for (u64 lo = 0; lo < len; lo += 2 * bit)
+        for (u64 off = 0; off < bit; ++off) {
+          const u64 i0 = (lo + off) * L + col;
+          const u64 i1 = (lo + off + bit) * L + col;
+          const Real v0r = re[i0], v0i = im[i0];
+          const Real v1r = re[i1], v1i = im[i1];
+          re[i0] = v1i;   // -i * v1
+          im[i0] = -v1r;
+          re[i1] = -v0i;  //  i * v0
+          im[i1] = v0r;
+        }
+      return;
+    case Pauli::kZ:
+      if (bit >= len) {
+        if (!(base & bit)) return;
+        for (u64 i = 0; i < len; ++i) {
+          const u64 k = i * L + col;
+          re[k] = -re[k];
+          im[k] = -im[k];
+        }
+        return;
+      }
+      for (u64 lo = bit; lo < len; lo += 2 * bit)
+        for (u64 off = 0; off < bit; ++off) {
+          const u64 k = (lo + off) * L + col;
+          re[k] = -re[k];
+          im[k] = -im[k];
+        }
+      return;
   }
 }
 
@@ -718,5 +849,143 @@ template void apply_plan_range<double>(const FusedPlan&, BatchedStateVector&,
                                        std::size_t, std::size_t);
 template void apply_plan_range<float>(const FusedPlan&, BatchedStateVectorF&,
                                       std::size_t, std::size_t);
+
+int batched_tile_rows_log2(const FusionOptions& options, int lanes,
+                           int num_qubits, std::size_t real_size) {
+  // Rows per tile: keep rows × lanes × 2 planes × sizeof(Real) equal to
+  // the scalar path's 2^tile_bits × sizeof(cplx) L1 budget.
+  int tb = options.tile_bits + 4 -
+           ceil_log2(2 * static_cast<u64>(lanes) * static_cast<u64>(real_size));
+  tb = std::max(tb, 4);
+  tb = std::min(tb, num_qubits);
+  return tb;
+}
+
+template <typename Real>
+void apply_batch_walk(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
+                      const BatchWalkStep* steps, std::size_t count) {
+  QFAB_CHECK(bsv.num_qubits() == plan.circuit().num_qubits());
+  const BatchKernelTable<Real>& K = active_table<Real>();
+  Real* re = bsv.re();
+  Real* im = bsv.im();
+  const u64 L = static_cast<u64>(bsv.lanes());
+  const u64 n = bsv.dim();
+  const int tb = batched_tile_rows_log2(plan.options(), bsv.lanes(),
+                                        bsv.num_qubits(), sizeof(Real));
+  const u64 tile = u64{1} << tb;
+  const u64 low = tile - 1;
+
+  // Every step couples row r only with rows r ^ m for m in the span of its
+  // coupling mask (ops: FusedPlan::op_coupling_mask; lane X/Y: their
+  // qubit; Z/I and diagonals: nothing). A run therefore never needs a
+  // full-width pass: tiles walk in XOR-groups — the 2^|B| sibling tiles
+  // reached by the run's high coupling bits B stay resident together, and
+  // high-coupling steps address their partner rows absolutely in those
+  // siblings. The cap bounds the co-resident set to 8 tiles (L2-sized at
+  // the L1 tile budget); a run ends only when admitting the next step
+  // would push |B| past it, which replaces the old per-step full-width
+  // fallback — the measured cause of the batch=16 lane-scaling inversion,
+  // since every injection split used to shed high-qubit sub-ops that broke
+  // the walk into full-vector passes.
+  constexpr int kGroupBitsCap = 3;
+
+  const auto coupling_high = [&](const BatchWalkStep& s) -> u64 {
+    if (s.plan != nullptr) return s.plan->op_coupling_mask(s.op) & ~low;
+    if (s.pauli == Pauli::kX || s.pauli == Pauli::kY)
+      return (u64{1} << s.qubit) & ~low;
+    return 0;
+  };
+
+  std::size_t i = 0;
+  while (i < count) {
+    // Maximal run whose union of high coupling bits fits the group cap.
+    u64 B = 0;
+    std::size_t j = i;
+    while (j < count) {
+      const u64 nb = B | coupling_high(steps[j]);
+      if (std::popcount(nb) > kGroupBitsCap) break;
+      B = nb;
+      ++j;
+    }
+    // Lane span of an op step: [sb, sb + sc) columns of every row.
+    const auto span_of = [&](const BatchWalkStep& s, int& sb, int& sc) {
+      sb = s.lane_begin;
+      sc = s.lane_count < 0 ? bsv.lanes() - sb : s.lane_count;
+    };
+    if (j == i) {
+      // Lone step with more high coupling bits than the cap (cannot occur
+      // with today's ops, which couple at most two qubits): full width.
+      const BatchWalkStep& s = steps[i];
+      if (s.plan != nullptr) {
+        int sb, sc;
+        span_of(s, sb, sc);
+        const FusedOp& op = s.plan->ops()[s.op];
+        add_pending_span(*s.plan, bsv, op, sb, sc);
+        apply_chunk(K, *s.plan, re + sb, im + sb, 0, n, L,
+                    static_cast<u64>(sc), op);
+      } else {
+        bsv.apply_pauli(s.lane, s.pauli, s.qubit);
+      }
+      ++i;
+      continue;
+    }
+    // Pending phases land once per op span in step order (never per
+    // tile), matching the per-lane schedule's accumulation sequence.
+    for (std::size_t k = i; k < j; ++k)
+      if (steps[k].plan != nullptr) {
+        int sb, sc;
+        span_of(steps[k], sb, sc);
+        add_pending_span(*steps[k].plan, bsv,
+                         steps[k].plan->ops()[steps[k].op], sb, sc);
+      }
+    // Tile-base offsets of the group: every subset of B.
+    u64 bits[kGroupBitsCap];
+    int gbits = 0;
+    for (u64 m = B; m != 0; m &= m - 1) bits[gbits++] = m & (0 - m);
+    const int nsub = 1 << gbits;
+    u64 suboff[std::size_t{1} << kGroupBitsCap];
+    for (int sub = 0; sub < nsub; ++sub) {
+      u64 off = 0;
+      for (int b = 0; b < gbits; ++b)
+        if (sub & (1 << b)) off |= bits[b];
+      suboff[sub] = off;
+    }
+    for (u64 gb = 0; gb < n; gb += tile) {
+      if (gb & B) continue;  // visited as a sibling of its clear base
+      for (std::size_t k = i; k < j; ++k) {
+        const BatchWalkStep& s = steps[k];
+        int sb, sc;
+        span_of(s, sb, sc);
+        for (int sub = 0; sub < nsub; ++sub) {
+          const u64 tbase = gb | suboff[sub];
+          Real* tre = re + tbase * L + sb;
+          Real* tim = im + tbase * L + sb;
+          if (s.plan != nullptr) {
+            const FusedOp& op = s.plan->ops()[s.op];
+            // Group kernels whenever ANY op qubit is above the tile — not
+            // just coupled ones: a high CX control never pairs rows across
+            // tiles (so it adds nothing to B) but still overruns the plain
+            // in-chunk kernel's index space.
+            if (op.kind != FusedOp::Kind::kDiagonal && op.max_qubit >= tb)
+              apply_chunk_group(K, *s.plan, tre, tim, tbase, tile, L,
+                                static_cast<u64>(sc), op);
+            else
+              apply_chunk(K, *s.plan, tre, tim, tbase, tile, L,
+                          static_cast<u64>(sc), op);
+          } else {
+            apply_pauli_rows(tre - sb, tim - sb, tbase, tile, L, s.lane,
+                             s.pauli, s.qubit);
+          }
+        }
+      }
+    }
+    i = j;
+  }
+}
+
+template void apply_batch_walk<double>(const FusedPlan&, BatchedStateVector&,
+                                       const BatchWalkStep*, std::size_t);
+template void apply_batch_walk<float>(const FusedPlan&, BatchedStateVectorF&,
+                                      const BatchWalkStep*, std::size_t);
 
 }  // namespace qfab

@@ -154,6 +154,15 @@ class BatchedStateVectorT {
   /// ... or on one lane.
   void apply_lane_global_phase(int lane, double phase);
 
+  /// One lane's accumulated pending global phase (radians). The raw
+  /// planes represent the lane state up to this factor: two replays that
+  /// route scalar phase work differently (fused table vs pending) hold
+  /// bitwise-different planes for the same state, so plane-level
+  /// comparisons must fold this in (lane_state already does).
+  double lane_pending_phase(int lane) const {
+    return pending_[static_cast<std::size_t>(lane)];
+  }
+
   /// |amp|^2 of one lane (phase-free; pending phase is irrelevant).
   /// Accumulation is always double, whatever Real is.
   std::vector<double> lane_probabilities(int lane) const;
@@ -220,6 +229,90 @@ extern template void apply_plan_range<double>(const FusedPlan&,
                                               std::size_t);
 extern template void apply_plan_range<float>(const FusedPlan&,
                                              BatchedStateVectorF&, std::size_t,
+                                             std::size_t);
+
+/// Rows-per-tile exponent of the lane-aware cache blocking at `lanes`
+/// lanes of `real_size`-byte amplitudes: 2^result rows × lanes × 2 planes
+/// matches the scalar path's 2^tile_bits-amplitude L1 budget, clamped to
+/// [4, num_qubits]. Shared by apply_ops_batched and apply_batch_walk so
+/// walk-step eligibility agrees with the plan apply loop.
+int batched_tile_rows_log2(const FusionOptions& options, int lanes,
+                           int num_qubits, std::size_t real_size);
+
+/// One step of a fused trajectory walk (see apply_batch_walk): either a
+/// fused op of some plan — the trajectory's root plan or one of its cached
+/// subrange plans — applied to a contiguous lane span, or a single-lane
+/// Pauli injection. Op steps keep `plan` non-null; the plan must outlive
+/// the walk (subrange plans are owned by their root plan's cache, so
+/// holding the root alive suffices).
+///
+/// The lane span is how the walk prices per-lane schedule divergence: in
+/// the amp-major lane-minor layout, "lanes [b, b+c) of every row" is just
+/// the kernel's unit-stride inner loop shortened to c entries at column
+/// offset b, so an op-interior split needed by ONE lane costs 1/L of a
+/// pass (its slices run with c = 1) while the uninvolved lanes take the
+/// fused op in bystander spans. lane_count = -1 means every lane.
+struct BatchWalkStep {
+  const FusedPlan* plan = nullptr;  // null = Pauli step
+  std::size_t op = 0;               // op index within *plan
+  int lane = -1;                    // Pauli steps only
+  Pauli pauli = Pauli::kI;
+  int qubit = -1;
+  int lane_begin = 0;               // op steps: first lane of the span
+  int lane_count = -1;              // op steps: span width (-1 = all lanes)
+
+  static BatchWalkStep op_step(const FusedPlan* plan, std::size_t op) {
+    BatchWalkStep s;
+    s.plan = plan;
+    s.op = op;
+    return s;
+  }
+  static BatchWalkStep op_span_step(const FusedPlan* plan, std::size_t op,
+                                    int lane_begin, int lane_count) {
+    BatchWalkStep s;
+    s.plan = plan;
+    s.op = op;
+    s.lane_begin = lane_begin;
+    s.lane_count = lane_count;
+    return s;
+  }
+  static BatchWalkStep pauli_step(int lane, Pauli pauli, int qubit) {
+    BatchWalkStep s;
+    s.lane = lane;
+    s.pauli = pauli;
+    s.qubit = qubit;
+    return s;
+  }
+};
+
+/// Execute a fused trajectory walk: maximal runs of steps whose high
+/// coupling bits fit the XOR-group cap load each L1-sized amplitude tile
+/// (plus its coupled sibling tiles) once and apply the whole interleaved
+/// sequence — op spans and lane Paulis alike — to it before the next
+/// group streams in, so a replay's memory traffic no longer multiplies
+/// with the number of injection sites. High-qubit ops run through the
+/// group kernel variants, which address partner rows absolutely in the
+/// co-resident siblings instead of forcing a full-width pass.
+///
+/// Within one lane, per-amplitude arithmetic, kernel selection, and
+/// pending-phase accumulation order are exactly those of the step
+/// sequence scoped to that lane's spans — a lane's amplitudes never
+/// depend on which other lanes share the batch (the walk's determinism
+/// contract; see run_trajectories_batched for the per-lane schedule it
+/// builds on top). `plan` supplies the tiling options and qubit count;
+/// op steps may reference it or any plan compiled with the same options.
+/// Global phase is NOT applied (mirrors apply_plan_range).
+template <typename Real>
+void apply_batch_walk(const FusedPlan& plan, BatchedStateVectorT<Real>& bsv,
+                      const BatchWalkStep* steps, std::size_t count);
+
+extern template void apply_batch_walk<double>(const FusedPlan&,
+                                              BatchedStateVector&,
+                                              const BatchWalkStep*,
+                                              std::size_t);
+extern template void apply_batch_walk<float>(const FusedPlan&,
+                                             BatchedStateVectorF&,
+                                             const BatchWalkStep*,
                                              std::size_t);
 
 }  // namespace qfab

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <limits>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "common/fault.h"
@@ -622,8 +623,14 @@ bool simplify_pass(std::vector<FusedOp>& ops) {
 
 }  // namespace
 
+/// Read-mostly: a sweep's worker threads look up the same few split keys
+/// over and over, so hits take only the shared lock (concurrent, no
+/// serialization); compiling a missing slice happens outside any lock and
+/// the first thread to publish under the exclusive lock wins (losers drop
+/// their duplicate). Mapped plans are heap-owned, so references returned to
+/// callers stay valid across rehashes and later inserts.
 struct FusedPlan::SubrangeCache {
-  std::mutex mutex;
+  std::shared_mutex mutex;
   std::unordered_map<std::uint64_t, std::unique_ptr<const FusedPlan>> plans;
 };
 
@@ -641,15 +648,55 @@ const FusedPlan& FusedPlan::subrange_plan(std::size_t gate_begin,
   QFAB_CHECK(gate_begin <= gate_end && gate_end <= gate_count());
   const std::uint64_t key =
       (static_cast<std::uint64_t>(gate_begin) << 32) | gate_end;
-  std::lock_guard<std::mutex> lock(subranges_->mutex);
-  std::unique_ptr<const FusedPlan>& slot = subranges_->plans[key];
-  if (!slot) {
-    QuantumCircuit sub = QuantumCircuit::same_shape(circuit_);
-    for (std::size_t g = gate_begin; g < gate_end; ++g)
-      sub.append(circuit_.gates()[g]);
-    slot = std::make_unique<const FusedPlan>(sub, options_);
+  {
+    std::shared_lock<std::shared_mutex> lock(subranges_->mutex);
+    const auto it = subranges_->plans.find(key);
+    if (it != subranges_->plans.end()) return *it->second;
   }
-  return *slot;
+  QuantumCircuit sub = QuantumCircuit::same_shape(circuit_);
+  for (std::size_t g = gate_begin; g < gate_end; ++g)
+    sub.append(circuit_.gates()[g]);
+  auto built = std::make_unique<const FusedPlan>(sub, options_);
+  std::unique_lock<std::shared_mutex> lock(subranges_->mutex);
+  const auto [it, inserted] =
+      subranges_->plans.try_emplace(key, std::move(built));
+  return *it->second;
+}
+
+bool FusedPlan::op_tile_eligible(std::size_t op_index,
+                                 int tile_rows_log2) const {
+  QFAB_CHECK(op_index < ops_.size());
+  const FusedOp& op = ops_[op_index];
+  return op.kind == FusedOp::Kind::kDiagonal || op.max_qubit < tile_rows_log2;
+}
+
+u64 FusedPlan::op_coupling_mask(std::size_t op_index) const {
+  QFAB_CHECK(op_index < ops_.size());
+  const FusedOp& op = ops_[op_index];
+  switch (op.kind) {
+    case FusedOp::Kind::kDiagonal:
+      return 0;
+    case FusedOp::Kind::kMatrix1:
+      return u64{1} << op.q0;
+    case FusedOp::Kind::kMatrix2:
+      return (u64{1} << op.q0) | (u64{1} << op.q1);
+    case FusedOp::Kind::kGate: {
+      const Gate& g = circuit_.gates()[op.gate_begin];
+      if (gate_is_diagonal(g.kind)) return 0;
+      switch (g.kind) {
+        case GateKind::kCX:
+        case GateKind::kCCX:
+          // qubits[0] is the target; controls only select rows.
+          return u64{1} << g.qubits[0];
+        case GateKind::kSWAP:
+        case GateKind::kCH:
+          return (u64{1} << g.qubits[0]) | (u64{1} << g.qubits[1]);
+        default:
+          return u64{1} << g.qubits[0];
+      }
+    }
+  }
+  return 0;
 }
 
 std::size_t FusedPlan::op_of_gate(std::size_t gate_index) const {

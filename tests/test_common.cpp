@@ -456,6 +456,33 @@ TEST(Cli, RejectsTrailingGarbage) {
   EXPECT_THROW(flags.get_double("y", 0.0), CheckError);
 }
 
+TEST(Cli, RejectsNonNumericPrefixes) {
+  // strtol/strtod silently skip leading whitespace and accept a '+' sign,
+  // so `--depths=" 3"` used to parse while `"3 "` was rejected. Any
+  // non-numeric prefix must fail, consistently with trailing garbage.
+  const char* argv[] = {"prog",      "--sp= 3",    "--tab=\t4", "--plus=+5",
+                        "--dsp= 2.5", "--dplus=+.5", "--inf=-inf", "--nan=nan"};
+  CliFlags flags(8, argv);
+  EXPECT_THROW(flags.get_int("sp", 0), CheckError);
+  EXPECT_THROW(flags.get_int("tab", 0), CheckError);
+  EXPECT_THROW(flags.get_int("plus", 0), CheckError);
+  EXPECT_THROW(flags.get_double("dsp", 0.0), CheckError);
+  EXPECT_THROW(flags.get_double("dplus", 0.0), CheckError);
+  EXPECT_THROW(flags.get_double("inf", 0.0), CheckError);
+  EXPECT_THROW(flags.get_double("nan", 0.0), CheckError);
+}
+
+TEST(Cli, AcceptsPlainNumericForms) {
+  // The no-prefix rule must not break the forms flags actually use:
+  // negative integers, negative/leading-dot decimals, and exponents.
+  const char* argv[] = {"prog", "--n=-7", "--r=-0.25", "--d=.5", "--e=2e-3"};
+  CliFlags flags(5, argv);
+  EXPECT_EQ(flags.get_int("n", 0), -7);
+  EXPECT_DOUBLE_EQ(flags.get_double("r", 0.0), -0.25);
+  EXPECT_DOUBLE_EQ(flags.get_double("d", 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(flags.get_double("e", 0.0), 2e-3);
+}
+
 TEST(Cli, RejectsBadListValues) {
   const char* argv[] = {"prog", "--a=1,,3", "--b=", "--c=0.1,x"};
   CliFlags flags(4, argv);

@@ -4,7 +4,9 @@
 // the trajectory noise-injection machinery relies on.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "common/rng.h"
 #include "exp/experiment.h"
@@ -220,6 +222,48 @@ TEST(FusedPlan, DisabledPlanStillMatchesReference) {
   EXPECT_LT(state_distance(sv.amplitudes(),
                            run_reference(qc, init).amplitudes()),
             kTol);
+}
+
+TEST(FusedPlan, SubrangePlanConcurrentHammer) {
+  // Many threads resolving overlapping subranges of one shared plan: the
+  // read path is a shared_lock, so concurrent hits must not serialize or
+  // race with misses inserting (run under the TSan preset to prove it).
+  // Every returned reference must stay valid and describe its range.
+  Pcg64 rng(20260805, 7);
+  const QuantumCircuit qc = random_circuit(5, 60, rng);
+  const FusedPlan plan(qc);
+  const std::size_t total = qc.gates().size();
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Pcg64 trng(20260805, 100 + t);
+      for (int r = 0; r < kRounds; ++r) {
+        // A small pool of ranges so threads collide on the same keys
+        // (first resolver builds, the rest must hit the cache).
+        const std::size_t begin = trng.uniform_int(8);
+        const std::size_t end =
+            begin + 1 + trng.uniform_int(total - 8);
+        const FusedPlan& sub = plan.subrange_plan(begin, end);
+        if (sub.circuit().gates().size() != end - begin) failures.fetch_add(1);
+        if (sub.gate_count() != end - begin) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The cached plans still produce correct states after the stampede.
+  const std::vector<cplx> init = random_state(5, rng);
+  StateVector ref = StateVector::from_amplitudes(init);
+  ref.apply_circuit_range(qc, 3, total);
+  StateVector sv = StateVector::from_amplitudes(init);
+  plan.subrange_plan(3, total).apply(sv);
+  EXPECT_LT(state_distance(sv.amplitudes(), ref.amplitudes()), kTol);
 }
 
 TEST(FusedPlan, CleanRunSharesPlanAcrossInstances) {
