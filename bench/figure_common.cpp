@@ -2,6 +2,8 @@
 
 #include <iostream>
 
+#include "exp/fabric.h"
+
 namespace qfab::bench {
 
 std::vector<double> default_rates_1q() {
@@ -56,6 +58,7 @@ bool parse_scale(const CliFlags& flags, FigureScale& scale,
   scale.resume = flags.get_bool("resume", scale.resume);
   scale.unit_deadline_seconds =
       flags.get_double("unit-deadline", scale.unit_deadline_seconds);
+  scale.workers = static_cast<int>(flags.get_int("workers", scale.workers));
   scale.noisy_rz = !flags.get_bool("rz-noiseless", !scale.noisy_rz);
   scale.measure_all = flags.get_bool("measure-all", scale.measure_all);
   scale.progress = !flags.get_bool("quiet", !scale.progress);
@@ -81,17 +84,8 @@ std::vector<int> to_depths(const std::vector<long>& in) {
 void maybe_write_csv(const SweepResult& result, const std::string& prefix,
                      const std::string& row_name, const char* axis) {
   if (prefix.empty()) return;
-  TextTable table({"depth", "rate_percent", "success_rate", "sigma",
-                   "lower_flips", "upper_flips", "instances"});
-  for (const SweepPoint& p : result.points)
-    table.add_row({depth_label(p.depth), fmt_double(p.rate_percent, 3),
-                   fmt_double(p.stats.success_rate, 6),
-                   fmt_double(p.stats.sigma, 3),
-                   std::to_string(p.stats.lower_flips),
-                   std::to_string(p.stats.upper_flips),
-                   std::to_string(p.stats.instances)});
   const std::string path = prefix + "_" + row_name + "_" + axis + ".csv";
-  table.write_csv(path);
+  sweep_csv_table(result).write_csv(path);
   std::cout << "  wrote " << path << '\n';
 }
 
@@ -123,20 +117,34 @@ bool run_figure_row(const FigureScale& scale, const CircuitSpec& base,
       scale.instances, base.n, base.n, orders, row_rng);
 
   auto run_panel = [&](const char* axis) {
-    DurableOptions durable;
-    if (!scale.checkpoint.empty()) {
-      durable.journal_path =
-          scale.checkpoint + "_" + row_name + "_" + axis + ".journal";
-      durable.resume = scale.resume;
-    }
-    durable.unit_deadline_seconds = scale.unit_deadline_seconds;
     const long fallbacks_before = precision_fallback_count();
-    const SweepResult result = run_sweep_durable(cfg, instances, durable);
+    SweepResult result;
+    if (scale.workers > 1) {
+      // Multi-process fabric: panel state lives in a sibling directory of
+      // the checkpoint journals ("qfab" prefix when --checkpoint is unset).
+      FabricOptions fabric;
+      const std::string prefix =
+          scale.checkpoint.empty() ? std::string("qfab") : scale.checkpoint;
+      fabric.dir = prefix + "_" + row_name + "_" + axis + ".fabric";
+      fabric.workers = scale.workers;
+      fabric.resume = scale.resume;
+      fabric.progress = scale.progress;
+      result = run_sweep_fabric(cfg, instances, fabric);
+    } else {
+      DurableOptions durable;
+      if (!scale.checkpoint.empty()) {
+        durable.journal_path =
+            scale.checkpoint + "_" + row_name + "_" + axis + ".journal";
+        durable.resume = scale.resume;
+      }
+      durable.unit_deadline_seconds = scale.unit_deadline_seconds;
+      result = run_sweep_durable(cfg, instances, durable);
+    }
     if (!result.complete) {
       std::cout << "panel " << row_name << " (" << axis << ") drained after "
                 << result.units_done << '/' << result.units_total
                 << " work units";
-      if (!durable.journal_path.empty())
+      if (scale.workers > 1 || !scale.checkpoint.empty())
         std::cout << "; resume with --checkpoint=" << scale.checkpoint
                   << " --resume";
       std::cout << '\n';

@@ -56,6 +56,44 @@ crash_resume_smoke() {
   echo "== ${name}: crash-resume smoke: resumed CSVs match reference =="
 }
 
+# Multi-process fabric smoke: crash the only worker of a 1-worker fabric
+# after its first journaled unit (respawn budget 0, so the run strands and
+# exits resumable), then resume with 2 workers while wedging the first of
+# them (hang-after-unit=0, so the coordinator must expire its lease,
+# SIGKILL it, and reassign the unit). The merged CSV must match a
+# single-process --workers=0 reference byte for byte (DESIGN.md §13).
+fabric_smoke() {
+  local name="$1"
+  local builddir="build-ci-${name}"
+  local smokedir="${builddir}/fabric_smoke"
+  local flags=(--n 5 --instances 4 --shots 64 --traj 4 --depths 1,2
+               --rates 0.5,1.0)
+  echo "== ${name}: fabric crash+stall resume smoke =="
+  rm -rf "${smokedir}"
+  mkdir -p "${smokedir}"
+  (
+    cd "${smokedir}"
+    ../tools/qfab_sweepd "${flags[@]}" --workers 0 --csv ref >/dev/null
+    set +e
+    QFAB_FAULT='crash-after-unit=1,fault-worker=0' ../tools/qfab_sweepd \
+      "${flags[@]}" --workers 1 --max-respawns 0 --lease 0.5 --dir fab \
+      --csv fab >/dev/null 2>&1
+    local crash_rc=$?
+    set -e
+    if [[ "${crash_rc}" -ne 75 ]]; then
+      echo "fabric smoke: expected stranded-fabric exit 75, got ${crash_rc}" >&2
+      exit 1
+    fi
+    # Resumed worker ids continue above the dead shard's, so the first new
+    # worker is id 1 — the one the hang directive targets.
+    QFAB_FAULT='hang-after-unit=0,fault-worker=1' ../tools/qfab_sweepd \
+      "${flags[@]}" --workers 2 --resume --lease 0.5 --dir fab \
+      --csv fab >/dev/null 2>&1
+    cmp ref.csv fab.csv
+  )
+  echo "== ${name}: fabric smoke: merged CSV matches single-process reference =="
+}
+
 # Bounded batched-throughput smoke against the checked-in baseline: rerun
 # the batch={4,8,16} rows of bench_batch — the end-to-end sweep points AND
 # the "<case>_replay" lane-scaling rows — and fail if any (case, simd,
@@ -107,8 +145,15 @@ echo "== plain: bench_sweep smoke (bounded) =="
   --reps 1 --out build-ci-plain/BENCH_sweep_smoke.json
 perf_smoke plain
 crash_resume_smoke plain
+fabric_smoke plain
 QFAB_SIMD=scalar run_preset asan -DQFAB_SANITIZE=address
 QFAB_SIMD=scalar crash_resume_smoke asan
+QFAB_SIMD=scalar fabric_smoke asan
 QFAB_SIMD=scalar run_preset tsan -DQFAB_SANITIZE=thread
+# The fabric suite (worker fork, heartbeat threads, lease supervision) is
+# part of tier-1 above; re-run it alone under TSan so a data race in the
+# fabric fails loudly with its own name.
+echo "== tsan: fabric suite =="
+(cd build-ci-tsan && ctest -R '^test_fabric' --output-on-failure)
 
 echo "CI: all presets green"

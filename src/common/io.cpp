@@ -22,18 +22,35 @@ std::string dir_of(const std::string& path) {
   return path.substr(0, slash);
 }
 
-/// Best-effort fsync of a directory so a completed rename survives power
-/// loss. Some filesystems refuse O_RDONLY directory fsync; that is not a
-/// correctness problem for the caller (the rename is still atomic), so
-/// failures are ignored.
+/// fsync the directory containing a just-renamed file so the rename itself
+/// survives power loss. A failed directory fsync means the rename may
+/// silently vanish, so real failures (EIO and friends) surface as
+/// CheckError with the errno instead of being swallowed. Two cases are
+/// tolerated because they mean "cannot be done here", not "was lost":
+/// filesystems that refuse directory fsync report EINVAL/ENOTSUP (POSIX
+/// allows this), and a directory that grants create-but-not-read permission
+/// cannot be opened O_RDONLY at all (EACCES).
 void fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd < 0) return;
-  (void)::fsync(fd);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    QFAB_CHECK_MSG(errno == EACCES, "cannot open directory "
+                                        << dir << " for fsync: "
+                                        << std::strerror(errno));
+    return;
+  }
+  const int rc = ::fsync(fd);
+  const int err = errno;
   (void)::close(fd);
+  if (rc != 0) {
+    QFAB_CHECK_MSG(err == EINVAL || err == ENOTSUP,
+                   "fsync of directory " << dir << " failed: "
+                                         << std::strerror(err));
+  }
 }
 
 }  // namespace
+
+void fsync_parent_dir(const std::string& path) { fsync_dir(dir_of(path)); }
 
 void atomic_write_file(const std::string& path, const std::string& content) {
   // The temp file must live in the target directory: rename(2) is only

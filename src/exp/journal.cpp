@@ -316,11 +316,27 @@ JournalContents read_journal(const std::string& path) {
   }
   if (out.valid_bytes < data.size()) {
     out.dropped_tail = true;
+    out.dropped_bytes = data.size() - out.valid_bytes;
+    // Census of the dropped tail: walk frame-by-frame from the damage point
+    // following each frame's claimed length, so repair can say how many
+    // record frames a truncation discards instead of dropping them
+    // silently. The payloads are untrusted (that is why they are dropped);
+    // only the frame count is reported.
+    std::size_t scan = out.valid_bytes;
+    while (scan + 8 <= data.size()) {
+      std::uint32_t len = 0;
+      std::memcpy(&len, data.data() + scan, 4);
+      if (len > kMaxFrameBytes || scan + 8 + len > data.size()) break;
+      ++out.dropped_frames;
+      scan += 8 + len;
+    }
+    out.dropped_partial_frame = scan != data.size();
     if (out.note.empty())
       out.note = "trailing garbage at byte " + std::to_string(out.valid_bytes);
-    out.note += " — dropped " +
-                std::to_string(data.size() - out.valid_bytes) +
-                " trailing byte(s)";
+    out.note += " — dropped " + std::to_string(out.dropped_bytes) +
+                " trailing byte(s): " + std::to_string(out.dropped_frames) +
+                " stranded frame(s)";
+    if (out.dropped_partial_frame) out.note += " plus a torn partial frame";
   }
   if (!out.header_ok) out.records.clear();
   return out;
@@ -339,6 +355,27 @@ JournalWriter::JournalWriter(const std::string& path,
                              std::uint64_t fingerprint, bool fresh)
     : path_(path) {
   const int flags = O_WRONLY | O_CREAT | O_APPEND | (fresh ? O_TRUNC : 0);
+  if (!fresh) {
+    // Appends land after whatever the file currently ends with, so a
+    // damaged tail must be rewound (rewrite_journal) before appending —
+    // records appended behind garbage would be unreachable to every
+    // reader. Fingerprint and header are re-validated for the same reason:
+    // this writer's records must parse in sequence with the prefix.
+    const JournalContents contents = read_journal(path);
+    QFAB_CHECK_MSG(contents.header_ok,
+                   "journal " << path
+                              << " has no valid header; cannot append ("
+                              << contents.note << ")");
+    QFAB_CHECK_MSG(contents.fingerprint == fingerprint,
+                   "journal " << path
+                              << " belongs to a different sweep configuration"
+                                 " (fingerprint mismatch); cannot append");
+    QFAB_CHECK_MSG(!contents.dropped_tail,
+                   "journal " << path << " has a damaged tail ("
+                              << contents.note
+                              << "); rewrite the valid prefix before "
+                                 "appending (qfab_journal --repair)");
+  }
   fd_ = ::open(path.c_str(), flags, 0644);
   QFAB_CHECK_MSG(fd_ >= 0, "cannot open journal " << path << ": "
                                                   << std::strerror(errno));

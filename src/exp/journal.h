@@ -79,6 +79,14 @@ struct JournalContents {
   /// True when trailing bytes after the valid prefix were dropped
   /// (torn write, CRC mismatch, or truncated frame).
   bool dropped_tail = false;
+  /// Best-effort census of the dropped tail, so repair can report what a
+  /// truncation costs instead of discarding silently: whole frames stranded
+  /// past the first damaged one (counted by following each frame's claimed
+  /// length; their payloads may or may not be recoverable) and whether a
+  /// torn partial frame ends the file.
+  std::size_t dropped_bytes = 0;
+  std::size_t dropped_frames = 0;
+  bool dropped_partial_frame = false;
   /// Human-readable description of what was dropped, for logs.
   std::string note;
 };
@@ -105,7 +113,11 @@ class JournalWriter {
  public:
   /// `fresh` truncates (or creates) the file and writes a new header;
   /// otherwise the file must already hold a valid header for `fingerprint`
-  /// and new records are appended after its current end.
+  /// and new records are appended after its current end. A non-fresh open
+  /// re-validates the file and *refuses* (CheckError) when a damaged tail
+  /// is present: appending after a torn-tail rewind would strand the new
+  /// records behind garbage, so the valid prefix must be rewritten
+  /// (rewrite_journal / qfab_journal --repair) before appends resume.
   JournalWriter(const std::string& path, std::uint64_t fingerprint,
                 bool fresh);
   ~JournalWriter();

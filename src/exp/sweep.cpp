@@ -62,6 +62,31 @@ struct SweepContext {
   std::mutex nonfused_mu;
   std::vector<std::shared_ptr<const FusedPlan>> nonfused;
 
+  /// Compile everything the work units share. Separate from the
+  /// constructor so the context can bind its references first.
+  void prepare() {
+    rates = config.expanded_rates();
+    // The positive-rate columns form one shared-trajectory cluster per
+    // (instance, depth): sampled once from the proposal rate and reweighted
+    // per column. Zero-rate columns (the noise-free cluster) stay on the
+    // per-rate path, which short-circuits to the ideal marginal anyway.
+    for (std::size_t r = 0; r < rates.size(); ++r)
+      if (rates[r] > 0.0) cluster.push_back(r);
+    use_shared = config.run.shared_trajectories && !config.run.per_shot &&
+                 !cluster.empty();
+    // Transpile and compile the execution plan once per depth (cheap next
+    // to simulation, but shared by every instance and trajectory).
+    circuits.reserve(config.depths.size());
+    plans.reserve(config.depths.size());
+    for (int depth : config.depths) {
+      CircuitSpec spec = config.base;
+      spec.depth = depth;
+      circuits.push_back(build_transpiled_circuit(spec));
+      plans.push_back(std::make_shared<const FusedPlan>(circuits.back()));
+    }
+    nonfused.assign(config.depths.size(), nullptr);
+  }
+
   /// Per-gate (fusion disabled) plan for depth index `d`, compiled on first
   /// use: retries deliberately avoid the fused kernels in case the fault
   /// lives there.
@@ -76,16 +101,6 @@ struct SweepContext {
   }
 };
 
-/// One work unit's results: outcomes[rate][member] for the instance block,
-/// plus its shared-trajectory bookkeeping contribution.
-struct UnitOut {
-  std::vector<std::vector<InstanceOutcome>> outcomes;
-  SharedEstimateStats stats;
-  bool retried = false;   // sentinel tripped, scalar retry ran
-  bool poisoned = false;  // sentinel tripped on the retry too
-  std::string error;      // poisoned-member descriptions
-};
-
 /// Evaluate one instance on the scalar path (InstanceContext): all
 /// non-shared rate columns per-rate, then the shared cluster. Used both as
 /// the primary path when units are single-instance (per-shot mode or
@@ -93,7 +108,7 @@ struct UnitOut {
 void evaluate_member_scalar(SweepContext& sc, std::size_t i, std::size_t d,
                             const RunOptions& run,
                             std::shared_ptr<const FusedPlan> plan,
-                            UnitOut& out, std::size_t m) {
+                            UnitResult& out, std::size_t m) {
   CircuitSpec spec = sc.config.base;
   spec.depth = sc.config.depths[d];
   // One ideal run (with checkpoints) serves every rate cluster.
@@ -127,7 +142,7 @@ void evaluate_member_scalar(SweepContext& sc, std::size_t i, std::size_t d,
 /// point_rng(seed, i, d, r), so results are independent of grouping and
 /// identical in distribution to the scalar path.
 void run_unit_batched(SweepContext& sc, std::size_t d, std::size_t i0,
-                      std::size_t i1, const RunOptions& run, UnitOut& out) {
+                      std::size_t i1, const RunOptions& run, UnitResult& out) {
   const std::vector<ArithInstance> group(sc.instances.begin() + i0,
                                          sc.instances.begin() + i1);
   CircuitSpec spec = sc.config.base;
@@ -167,10 +182,10 @@ void run_unit_batched(SweepContext& sc, std::size_t d, std::size_t i0,
 /// on the scalar non-fused path (the most conservative engine in the repo);
 /// members that fail again are recorded as poisoned (outcomes stay
 /// success=false) instead of crashing the sweep.
-UnitOut run_unit(SweepContext& sc, std::size_t d, std::size_t i0,
-                 std::size_t i1) {
+UnitResult compute_unit(SweepContext& sc, std::size_t d, std::size_t i0,
+                        std::size_t i1) {
   const std::size_t members = i1 - i0;
-  UnitOut out;
+  UnitResult out;
   out.outcomes.assign(sc.rates.size(), std::vector<InstanceOutcome>(members));
   try {
     if (sc.block > 1)
@@ -184,7 +199,7 @@ UnitOut run_unit(SweepContext& sc, std::size_t d, std::size_t i0,
               << "," << i1 << ")): " << err.what()
               << "; retrying on the scalar non-fused path\n";
   }
-  out = UnitOut{};
+  out = UnitResult{};
   out.outcomes.assign(sc.rates.size(), std::vector<InstanceOutcome>(members));
   out.retried = true;
   RunOptions retry = sc.config.run;
@@ -361,6 +376,170 @@ const SweepPoint& SweepResult::at(int depth, double rate_percent) const {
   return points.front();
 }
 
+SweepGrid::SweepGrid(const SweepConfig& config, std::size_t n_instances_in) {
+  n_depths = config.depths.size();
+  n_rates = config.expanded_rates().size();
+  n_instances = n_instances_in;
+  const int lanes = std::clamp(config.run.batch_lanes, 1,
+                               BatchedStateVector::kMaxLanes);
+  block = (lanes > 1 && !config.run.per_shot)
+              ? static_cast<std::size_t>(lanes)
+              : 1;
+  n_groups = (n_instances + block - 1) / block;
+  n_units = n_groups * n_depths;
+}
+
+SweepGrid::UnitKey SweepGrid::key(std::size_t u) const {
+  QFAB_CHECK(u < n_units);
+  UnitKey k;
+  k.depth_index = u % n_depths;
+  k.block_begin = (u / n_depths) * block;
+  k.block_end = std::min(k.block_begin + block, n_instances);
+  return k;
+}
+
+std::size_t SweepGrid::unit_of(std::size_t depth_index,
+                               std::size_t block_begin,
+                               std::size_t block_end) const {
+  if (depth_index >= n_depths || block_begin >= n_instances ||
+      block_begin % block != 0 ||
+      block_end != std::min(block_begin + block, n_instances))
+    return npos;
+  return (block_begin / block) * n_depths + depth_index;
+}
+
+struct SweepExecution::Impl {
+  Impl(const SweepConfig& config_in, std::vector<ArithInstance> instances_in)
+      : config(config_in),
+        instances(std::move(instances_in)),
+        grid(config, instances.size()),
+        sc(config, instances) {
+    QFAB_CHECK(!config.depths.empty());
+    QFAB_CHECK(!instances.empty());
+    sc.prepare();
+    sc.block = grid.block;
+  }
+
+  const SweepConfig config;
+  const std::vector<ArithInstance> instances;
+  const SweepGrid grid;
+  SweepContext sc;
+};
+
+SweepExecution::SweepExecution(const SweepConfig& config,
+                               std::vector<ArithInstance> instances)
+    : impl_(std::make_unique<Impl>(config, std::move(instances))) {}
+
+SweepExecution::~SweepExecution() = default;
+
+const SweepConfig& SweepExecution::config() const { return impl_->config; }
+
+const std::vector<ArithInstance>& SweepExecution::instances() const {
+  return impl_->instances;
+}
+
+const SweepGrid& SweepExecution::grid() const { return impl_->grid; }
+
+UnitResult SweepExecution::run_unit(std::size_t u) {
+  const SweepGrid::UnitKey k = impl_->grid.key(u);
+  return compute_unit(impl_->sc, k.depth_index, k.block_begin, k.block_end);
+}
+
+SweepAssembler::SweepAssembler(const SweepConfig& config,
+                               const SweepGrid& grid)
+    : config_(config),
+      grid_(grid),
+      rates_(config.expanded_rates()),
+      outcomes_(grid.n_depths,
+                std::vector<std::vector<InstanceOutcome>>(
+                    grid.n_rates,
+                    std::vector<InstanceOutcome>(grid.n_instances))),
+      unit_stats_(grid.n_units),
+      unit_error_(grid.n_units),
+      unit_done_(grid.n_units, 0) {}
+
+std::size_t SweepAssembler::members_of(std::size_t u) const {
+  const SweepGrid::UnitKey k = grid_.key(u);
+  return k.block_end - k.block_begin;
+}
+
+SweepAssembler::Add SweepAssembler::add_record(
+    std::size_t depth_index, std::size_t block_begin, std::size_t block_end,
+    const std::vector<std::vector<InstanceOutcome>>& outcomes,
+    const SharedEstimateStats& stats, const std::string& error) {
+  const std::size_t u = grid_.unit_of(depth_index, block_begin, block_end);
+  if (u == SweepGrid::npos) return Add::kMisfit;
+  const std::size_t members = block_end - block_begin;
+  const bool shaped =
+      outcomes.size() == grid_.n_rates &&
+      std::all_of(outcomes.begin(), outcomes.end(),
+                  [&](const std::vector<InstanceOutcome>& row) {
+                    return row.size() == members;
+                  });
+  if (!shaped) return Add::kMisfit;
+  if (unit_done_[u]) return Add::kDuplicate;
+  for (std::size_t r = 0; r < grid_.n_rates; ++r)
+    for (std::size_t m = 0; m < members; ++m)
+      outcomes_[depth_index][r][block_begin + m] = outcomes[r][m];
+  unit_stats_[u] = stats;
+  unit_error_[u] = error;
+  unit_done_[u] = 1;
+  return Add::kAdded;
+}
+
+void SweepAssembler::add_computed(std::size_t u, UnitResult&& out) {
+  const SweepGrid::UnitKey k = grid_.key(u);
+  const std::size_t members = k.block_end - k.block_begin;
+  QFAB_CHECK(!unit_done_[u]);
+  QFAB_CHECK(out.outcomes.size() == grid_.n_rates);
+  for (std::size_t r = 0; r < grid_.n_rates; ++r) {
+    QFAB_CHECK(out.outcomes[r].size() == members);
+    for (std::size_t m = 0; m < members; ++m)
+      outcomes_[k.depth_index][r][k.block_begin + m] = out.outcomes[r][m];
+  }
+  unit_stats_[u] = out.stats;
+  unit_error_[u] = std::move(out.error);
+  unit_done_[u] = 1;
+}
+
+std::size_t SweepAssembler::units_done() const {
+  return static_cast<std::size_t>(
+      std::count(unit_done_.begin(), unit_done_.end(), char(1)));
+}
+
+SweepResult SweepAssembler::finish(double seconds,
+                                   std::size_t units_restored,
+                                   std::size_t units_retried) const {
+  SweepResult result;
+  result.config = config_;
+  result.config.instances = static_cast<int>(grid_.n_instances);
+  result.units_total = grid_.n_units;
+  result.units_done = units_done();
+  result.units_restored = units_restored;
+  result.units_retried = units_retried;
+  result.complete = result.units_done == grid_.n_units;
+  for (std::size_t u = 0; u < grid_.n_units; ++u)
+    if (unit_done_[u] && !unit_error_[u].empty())
+      result.unit_errors.push_back(unit_error_[u]);
+  if (result.complete) {
+    // Deterministic stats aggregation: merge in unit order so the float
+    // sums are identical run-to-run (and across interrupt/resume or any
+    // worker sharding), not dependent on execution scheduling.
+    for (std::size_t u = 0; u < grid_.n_units; ++u)
+      result.shared_stats.merge(unit_stats_[u]);
+    for (std::size_t d = 0; d < grid_.n_depths; ++d)
+      for (std::size_t r = 0; r < grid_.n_rates; ++r) {
+        SweepPoint point;
+        point.depth = config_.depths[d];
+        point.rate_percent = rates_[r];
+        point.stats = aggregate_outcomes(outcomes_[d][r]);
+        result.points.push_back(point);
+      }
+  }
+  result.seconds = seconds;
+  return result;
+}
+
 SweepResult run_sweep(const SweepConfig& config,
                       const std::vector<ArithInstance>& instances) {
   return run_sweep_durable(config, instances, DurableOptions{});
@@ -373,53 +552,9 @@ SweepResult run_sweep_durable(const SweepConfig& config,
   QFAB_CHECK(!instances.empty());
   Stopwatch watch;
 
-  SweepContext sc{config, instances};
-  sc.rates = config.expanded_rates();
-  const std::size_t n_depths = config.depths.size();
-  const std::size_t n_rates = sc.rates.size();
-  const std::size_t n_inst = instances.size();
-
-  // The positive-rate columns form one shared-trajectory cluster per
-  // (instance, depth): sampled once from the proposal rate and reweighted
-  // per column. Zero-rate columns (the noise-free cluster) stay on the
-  // per-rate path, which short-circuits to the ideal marginal anyway.
-  for (std::size_t r = 0; r < n_rates; ++r)
-    if (sc.rates[r] > 0.0) sc.cluster.push_back(r);
-  sc.use_shared = config.run.shared_trajectories && !config.run.per_shot &&
-                  !sc.cluster.empty();
-
-  // Work-unit granularity: an (instance-block, depth) pair covering every
-  // rate column — the smallest piece whose results are self-contained,
-  // because the shared estimator computes whole rate clusters and the
-  // batched engine advances whole instance groups. The final block is
-  // ragged when n_inst % block != 0. Unit u = group * n_depths + depth.
-  const int lanes = std::clamp(config.run.batch_lanes, 1,
-                               BatchedStateVector::kMaxLanes);
-  sc.block = (lanes > 1 && !config.run.per_shot)
-                 ? static_cast<std::size_t>(lanes)
-                 : 1;
-  const std::size_t n_groups = (n_inst + sc.block - 1) / sc.block;
-  const std::size_t n_units = n_groups * n_depths;
-
-  // Transpile and compile the execution plan once per depth (cheap next to
-  // simulation, but shared by every instance and trajectory).
-  sc.circuits.reserve(n_depths);
-  sc.plans.reserve(n_depths);
-  for (int depth : config.depths) {
-    CircuitSpec spec = config.base;
-    spec.depth = depth;
-    sc.circuits.push_back(build_transpiled_circuit(spec));
-    sc.plans.push_back(std::make_shared<const FusedPlan>(sc.circuits.back()));
-  }
-  sc.nonfused.assign(n_depths, nullptr);
-
-  // outcomes[depth][rate][instance]
-  std::vector<std::vector<std::vector<InstanceOutcome>>> outcomes(
-      n_depths, std::vector<std::vector<InstanceOutcome>>(
-                    n_rates, std::vector<InstanceOutcome>(n_inst)));
-  std::vector<SharedEstimateStats> unit_stats(n_units);
-  std::vector<std::string> unit_error(n_units);
-  std::vector<char> unit_done(n_units, 0);
+  SweepExecution exec(config, instances);
+  const SweepGrid& grid = exec.grid();
+  SweepAssembler assembler(config, grid);
   std::size_t restored = 0;
   std::size_t restored_members = 0;
 
@@ -443,18 +578,12 @@ SweepResult run_sweep_durable(const SweepConfig& config,
         }
         for (const JournalRecord& rec : contents.records) {
           if (rec.type == JournalRecord::Type::kTimeout) continue;
-          const std::size_t d = rec.depth_index;
-          const std::size_t i0 = rec.block_begin;
-          const std::size_t i1 = rec.block_end;
-          const bool fits =
-              d < n_depths && i0 < n_inst && i0 % sc.block == 0 &&
-              i1 == std::min(i0 + sc.block, n_inst) &&
-              rec.outcomes.size() == n_rates &&
-              std::all_of(rec.outcomes.begin(), rec.outcomes.end(),
-                          [&](const std::vector<InstanceOutcome>& row) {
-                            return row.size() == i1 - i0;
-                          });
-          if (!fits) {
+          const std::string err =
+              rec.type == JournalRecord::Type::kPoisoned ? rec.error : "";
+          const SweepAssembler::Add added = assembler.add_record(
+              rec.depth_index, rec.block_begin, rec.block_end, rec.outcomes,
+              rec.stats, err);
+          if (added == SweepAssembler::Add::kMisfit) {
             // Should be unreachable behind the fingerprint check; skipping
             // (instead of trusting bad indices) keeps resume safe anyway.
             std::cerr << "[qfab] " << durable.journal_path
@@ -462,18 +591,11 @@ SweepResult run_sweep_durable(const SweepConfig& config,
                          "grid\n";
             continue;
           }
-          const std::size_t u = (i0 / sc.block) * n_depths + d;
-          for (std::size_t r = 0; r < n_rates; ++r)
-            for (std::size_t m = 0; m < i1 - i0; ++m)
-              outcomes[d][r][i0 + m] = rec.outcomes[r][m];
-          unit_stats[u] = rec.stats;
-          unit_error[u] =
-              rec.type == JournalRecord::Type::kPoisoned ? rec.error : "";
-          if (!unit_done[u]) {
+          if (added == SweepAssembler::Add::kAdded) {
             ++restored;
-            restored_members += i1 - i0;
+            restored_members +=
+                static_cast<std::size_t>(rec.block_end - rec.block_begin);
           }
-          unit_done[u] = 1;
         }
         fresh = false;
       } else if (!contents.note.empty()) {
@@ -486,11 +608,11 @@ SweepResult run_sweep_durable(const SweepConfig& config,
   }
 
   std::vector<std::size_t> pending;
-  pending.reserve(n_units);
-  for (std::size_t u = 0; u < n_units; ++u)
-    if (!unit_done[u]) pending.push_back(u);
+  pending.reserve(grid.n_units);
+  for (std::size_t u = 0; u < grid.n_units; ++u)
+    if (!assembler.done(u)) pending.push_back(u);
 
-  SweepMonitor monitor(config.progress, n_inst * n_depths,
+  SweepMonitor monitor(config.progress, grid.n_instances * grid.n_depths,
                        durable.unit_deadline_seconds, journal.get());
   monitor.add(restored_members);
   std::atomic<std::size_t> retried{0};
@@ -501,65 +623,35 @@ SweepResult run_sweep_durable(const SweepConfig& config,
       // finish and journal normally.
       if (shutdown_requested()) return;
       const std::size_t u = pending[k];
-      const std::size_t d = u % n_depths;
-      const std::size_t i0 = (u / n_depths) * sc.block;
-      const std::size_t i1 = std::min(i0 + sc.block, n_inst);
-      monitor.unit_started(u, d, i0, i1);
-      UnitOut out = run_unit(sc, d, i0, i1);
+      const SweepGrid::UnitKey key = grid.key(u);
+      monitor.unit_started(u, key.depth_index, key.block_begin,
+                           key.block_end);
+      UnitResult out = exec.run_unit(u);
       monitor.unit_finished(u);
       if (out.retried) retried.fetch_add(1, std::memory_order_relaxed);
-      for (std::size_t r = 0; r < n_rates; ++r)
-        for (std::size_t m = 0; m < i1 - i0; ++m)
-          outcomes[d][r][i0 + m] = out.outcomes[r][m];
-      unit_stats[u] = out.stats;
-      unit_error[u] = out.error;
-      unit_done[u] = 1;
+      const std::size_t members = key.block_end - key.block_begin;
       if (journal) {
         JournalRecord rec;
         rec.type = out.poisoned ? JournalRecord::Type::kPoisoned
                                 : JournalRecord::Type::kUnit;
-        rec.depth_index = static_cast<std::uint32_t>(d);
-        rec.block_begin = static_cast<std::uint32_t>(i0);
-        rec.block_end = static_cast<std::uint32_t>(i1);
-        rec.outcomes = std::move(out.outcomes);
+        rec.depth_index = static_cast<std::uint32_t>(key.depth_index);
+        rec.block_begin = static_cast<std::uint32_t>(key.block_begin);
+        rec.block_end = static_cast<std::uint32_t>(key.block_end);
+        rec.outcomes = out.outcomes;  // copy: assembler still needs them
         rec.stats = out.stats;
         rec.error = out.error;
+        assembler.add_computed(u, std::move(out));
         journal->append(rec);
+      } else {
+        assembler.add_computed(u, std::move(out));
       }
-      monitor.add(i1 - i0);
+      monitor.add(members);
     }
   });
   monitor.finish();
 
-  SweepResult result;
-  result.config = config;
-  result.config.instances = static_cast<int>(n_inst);
-  result.units_total = n_units;
-  result.units_done = static_cast<std::size_t>(
-      std::count(unit_done.begin(), unit_done.end(), char(1)));
-  result.units_restored = restored;
-  result.units_retried = retried.load(std::memory_order_relaxed);
-  result.complete = result.units_done == n_units;
-  for (std::size_t u = 0; u < n_units; ++u)
-    if (unit_done[u] && !unit_error[u].empty())
-      result.unit_errors.push_back(unit_error[u]);
-  if (result.complete) {
-    // Deterministic stats aggregation: merge in unit order so the float
-    // sums are identical run-to-run (and across interrupt/resume), not
-    // dependent on worker scheduling.
-    for (std::size_t u = 0; u < n_units; ++u)
-      result.shared_stats.merge(unit_stats[u]);
-    for (std::size_t d = 0; d < n_depths; ++d)
-      for (std::size_t r = 0; r < n_rates; ++r) {
-        SweepPoint point;
-        point.depth = config.depths[d];
-        point.rate_percent = sc.rates[r];
-        point.stats = aggregate_outcomes(outcomes[d][r]);
-        result.points.push_back(point);
-      }
-  }
-  result.seconds = watch.seconds();
-  return result;
+  return assembler.finish(watch.seconds(), restored,
+                          retried.load(std::memory_order_relaxed));
 }
 
 std::string depth_label(int depth) {
@@ -583,6 +675,19 @@ TextTable sweep_table(const SweepResult& result) {
     }
     table.add_row(std::move(row));
   }
+  return table;
+}
+
+TextTable sweep_csv_table(const SweepResult& result) {
+  TextTable table({"depth", "rate_percent", "success_rate", "sigma",
+                   "lower_flips", "upper_flips", "instances"});
+  for (const SweepPoint& p : result.points)
+    table.add_row({depth_label(p.depth), fmt_double(p.rate_percent, 3),
+                   fmt_double(p.stats.success_rate, 6),
+                   fmt_double(p.stats.sigma, 3),
+                   std::to_string(p.stats.lower_flips),
+                   std::to_string(p.stats.upper_flips),
+                   std::to_string(p.stats.instances)});
   return table;
 }
 

@@ -3,7 +3,9 @@
 // noise-free cluster at the x-origin (paper Figs. 1-2).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,132 @@ struct DurableOptions {
   double unit_deadline_seconds = 0.0;
 };
 
+/// Fixed geometry of a sweep's work units. A work unit is an
+/// (instance-block, depth) pair covering every rate column — the smallest
+/// self-contained piece, because the shared estimator computes whole rate
+/// clusters and the batched engine advances whole instance groups. Unit
+/// u = group * n_depths + depth_index; the final block is ragged when
+/// n_instances % block != 0. The grid is pure arithmetic on the config, so
+/// every process working the same sweep (journal resume, fabric workers,
+/// the merge) derives the identical unit numbering independently.
+struct SweepGrid {
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t n_depths = 0;
+  std::size_t n_rates = 0;
+  std::size_t n_instances = 0;
+  std::size_t block = 1;    // instances per work unit
+  std::size_t n_groups = 0;
+  std::size_t n_units = 0;
+
+  SweepGrid() = default;
+  SweepGrid(const SweepConfig& config, std::size_t n_instances);
+
+  /// The (depth, instance-block) coordinates of unit `u`.
+  struct UnitKey {
+    std::size_t depth_index = 0;
+    std::size_t block_begin = 0;
+    std::size_t block_end = 0;
+  };
+  UnitKey key(std::size_t u) const;
+
+  /// Inverse of key(): the unit index for these coordinates, or npos when
+  /// they do not lie on the grid (wrong alignment, ragged-block mismatch,
+  /// out of range). Used to validate untrusted journal records.
+  std::size_t unit_of(std::size_t depth_index, std::size_t block_begin,
+                      std::size_t block_end) const;
+};
+
+/// One computed work unit: outcomes[rate][member] for the instance block
+/// (rate order = SweepConfig::expanded_rates(), member m = instance
+/// block_begin + m), plus its shared-trajectory bookkeeping contribution.
+struct UnitResult {
+  std::vector<std::vector<InstanceOutcome>> outcomes;
+  SharedEstimateStats stats;
+  bool retried = false;   // health sentinel tripped, scalar retry ran
+  bool poisoned = false;  // sentinel tripped on the retry too
+  std::string error;      // poisoned-member descriptions
+};
+
+/// Compiled, immutable execution state for one sweep: transpiled circuits
+/// and fused plans per depth, rate clusters, the unit grid. Owns copies of
+/// the config and operand set, so it outlives the caller's arguments —
+/// fabric workers build one and keep it for their whole claim loop.
+/// run_unit is safe to call from multiple threads concurrently.
+class SweepExecution {
+ public:
+  SweepExecution(const SweepConfig& config,
+                 std::vector<ArithInstance> instances);
+  ~SweepExecution();
+
+  SweepExecution(const SweepExecution&) = delete;
+  SweepExecution& operator=(const SweepExecution&) = delete;
+
+  const SweepConfig& config() const;
+  const std::vector<ArithInstance>& instances() const;
+  const SweepGrid& grid() const;
+
+  /// Compute unit `u` (all rate columns). Numerical-health sentinel trips
+  /// retry once on the scalar non-fused path; persistent failures come back
+  /// poisoned instead of throwing. Deterministic: results depend only on
+  /// (config, instances, u), never on execution order or thread schedule.
+  UnitResult run_unit(std::size_t u);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Accumulates unit results — computed, restored from a journal, or merged
+/// from fabric shards — into a SweepResult. Deduplicates (first record for
+/// a unit wins; duplicates arise from crash-resume overlap and broken-lease
+/// steals) and validates shapes against the grid, so a merge can never mix
+/// mis-shaped records into the outcome matrix. Feeding records for every
+/// unit in deterministic unit order produces a SweepResult bit-identical to
+/// a single uninterrupted run_sweep (stats merge in unit order; points are
+/// depth-major, rate-minor).
+class SweepAssembler {
+ public:
+  enum class Add {
+    kAdded,      ///< new unit, absorbed
+    kDuplicate,  ///< unit already present; record ignored (first wins)
+    kMisfit,     ///< coordinates or outcome shape off-grid; record ignored
+  };
+
+  SweepAssembler(const SweepConfig& config, const SweepGrid& grid);
+
+  /// Absorb a journaled/shard record by coordinates. Not thread-safe.
+  Add add_record(std::size_t depth_index, std::size_t block_begin,
+                 std::size_t block_end,
+                 const std::vector<std::vector<InstanceOutcome>>& outcomes,
+                 const SharedEstimateStats& stats, const std::string& error);
+
+  /// Absorb a freshly computed unit. Thread-safe for *distinct* units
+  /// (disjoint outcome slots); the caller guarantees each unit is added
+  /// at most once on this path.
+  void add_computed(std::size_t u, UnitResult&& out);
+
+  bool done(std::size_t u) const { return unit_done_[u] != 0; }
+  std::size_t members_of(std::size_t u) const;
+  std::size_t units_done() const;
+
+  /// Build the final SweepResult. `complete` (and points) only when every
+  /// unit was added; an incomplete result carries the unit accounting so
+  /// callers can report progress and resume.
+  SweepResult finish(double seconds, std::size_t units_restored,
+                     std::size_t units_retried) const;
+
+ private:
+  SweepConfig config_;
+  SweepGrid grid_;
+  std::vector<double> rates_;
+  // outcomes[depth][rate][instance]
+  std::vector<std::vector<std::vector<InstanceOutcome>>> outcomes_;
+  std::vector<SharedEstimateStats> unit_stats_;
+  std::vector<std::string> unit_error_;
+  std::vector<char> unit_done_;
+};
+
 /// Run a sweep on a fixed operand set (generate via generate_instances with
 /// the row seed so both error-rate columns see identical operands).
 /// Equivalent to run_sweep_durable with default DurableOptions.
@@ -103,6 +231,12 @@ SweepResult run_sweep_durable(const SweepConfig& config,
 /// Render a panel: one row per rate cluster, one column per depth, cells
 /// "succ% s=σ [-lo/+hi]" (error bars as instance counts, as in the paper).
 TextTable sweep_table(const SweepResult& result);
+
+/// Machine-readable point dump, one row per sweep point (depth,
+/// rate_percent, success_rate, sigma, lower_flips, upper_flips, instances).
+/// The canonical CSV layout shared by the figure benches and the fabric's
+/// byte-identity checks.
+TextTable sweep_csv_table(const SweepResult& result);
 
 /// Human-readable depth label ("1", "2", ..., "full").
 std::string depth_label(int depth);

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cmath>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -16,6 +18,7 @@
 #include "common/io.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/shutdown.h"
 #include "common/table.h"
 
 namespace qfab {
@@ -545,6 +548,44 @@ TEST(Io, Crc32KnownVectors) {
   // Seeding lets a frame be checksummed in pieces.
   const std::uint32_t head = crc32(digits, 4);
   EXPECT_EQ(crc32(digits + 4, 5, head), 0xCBF43926u);
+}
+
+// ---------- shutdown ----------
+
+TEST(Shutdown, SoftDrainLatchesWithoutAdvancingHardExitCounter) {
+  install_shutdown_latch();
+  install_soft_drain_handler();
+  reset_shutdown_latch_for_tests();
+
+  ASSERT_EQ(std::raise(SIGUSR1), 0);
+  EXPECT_TRUE(shutdown_requested());
+  // The soft channel must not count toward the two-signal hard exit: after
+  // any number of SIGUSR1s, a first SIGINT still only latches a drain — if
+  // SIGUSR1 advanced the counter, this SIGINT would _Exit(130) right here.
+  ASSERT_EQ(std::raise(SIGUSR1), 0);
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(shutdown_requested());
+  reset_shutdown_latch_for_tests();
+  EXPECT_FALSE(shutdown_requested());
+}
+
+TEST(Shutdown, SecondCountedSignalHardExits130) {
+  // The hard exit must be observed from outside: a fork raises SIGINT
+  // twice, and the second signal's handler _Exit(130)s before the child
+  // can reach its fallback exit code.
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    install_shutdown_latch();
+    reset_shutdown_latch_for_tests();
+    (void)std::raise(SIGINT);
+    (void)std::raise(SIGINT);
+    std::_Exit(99);  // unreachable when the latch behaves
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 130);
 }
 
 }  // namespace

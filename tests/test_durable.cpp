@@ -423,6 +423,38 @@ TEST(Durable, JournalRoundTripAndManualTruncation) {
   EXPECT_EQ(repaired.fingerprint, fp);
 }
 
+TEST(Durable, DamagedTailRefusesAppendUntilRewritten) {
+  const std::string path = tmp_path("guard.journal");
+  const std::uint64_t fp = 0x5EED5EED5EED5EEDULL;
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::kUnit;
+  rec.block_end = 1;
+  rec.outcomes = {{{true, 1}}};
+  {
+    JournalWriter writer(path, fp, /*fresh=*/true);
+    writer.append(rec);
+    writer.append(rec);
+  }
+
+  // Tear the trailing frame: re-opening for append must refuse until the
+  // valid prefix is rewritten — appending after a torn tail would strand
+  // the new records behind unreadable bytes.
+  const JournalContents whole = read_journal(path);
+  std::filesystem::resize_file(path, whole.valid_bytes - 3);
+  EXPECT_THROW(JournalWriter(path, fp, /*fresh=*/false), CheckError);
+  // The wrong fingerprint is refused outright, even on a clean file.
+  { JournalWriter other(path, fp + 1, /*fresh=*/true); }
+  EXPECT_THROW(JournalWriter(path, fp, /*fresh=*/false), CheckError);
+
+  JournalWriter(path, fp, /*fresh=*/true).append(rec);
+  const JournalContents fresh = read_journal(path);
+  std::filesystem::resize_file(path, fresh.valid_bytes - 3);
+  rewrite_journal(path, read_journal(path));
+  JournalWriter writer(path, fp, /*fresh=*/false);  // now accepted
+  writer.append(rec);
+  EXPECT_EQ(read_journal(path).records.size(), 1u);
+}
+
 TEST(Durable, MissingAndForeignFilesAreNotJournals) {
   const JournalContents missing = read_journal(tmp_path("nonexistent"));
   EXPECT_FALSE(missing.header_ok);

@@ -7,44 +7,118 @@
 //       additionally list every record's (depth_index, instance block).
 //   tools/qfab_journal results/fig1_1to1_1q.journal --repair
 //       rewrite the file to its valid prefix (atomic tmp+fsync+rename),
-//       discarding a torn or corrupt tail so the next --resume does not
-//       have to.
+//       reporting how many record frames the damaged tail stranded
+//       instead of silently truncating.
+//   tools/qfab_journal --fabric results/fabric1
+//       inspect a sweep-fabric directory (exp/fabric.h): manifest, done
+//       markers, live leases, and every shard journal's health.
+//   tools/qfab_journal --fabric results/fabric1 --repair
+//       additionally rewrite damaged shard journals to their valid
+//       prefixes and clear stale lease files. Only safe when no fabric
+//       coordinator is running on the directory.
 //
-// Exit codes: 0 = journal readable (possibly after --repair), 1 = header
-// missing/unrecognizable, 2 = usage error.
+// Exit codes: 0 = readable (possibly after --repair), 1 = journal or
+// manifest missing/unrecognizable, 2 = usage error.
 //
-// See DESIGN.md §10 for the journal format.
+// See DESIGN.md §10 for the journal format and §13 for the fabric layout.
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "exp/fabric.h"
 #include "exp/journal.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: qfab_journal <journal> [--records] [--repair]\n"
+               "       qfab_journal --fabric <dir> [--repair]\n";
+  return 2;
+}
+
+int run_fabric_mode(const std::string& dir, bool repair) {
+  using namespace qfab;
+  const FabricStatus status = inspect_fabric(dir);
+  if (!status.manifest_ok) {
+    std::cout << dir << ": not a fabric directory (no readable MANIFEST)\n";
+    return 1;
+  }
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(status.fingerprint));
+  std::cout << dir << ":\n"
+            << "  fingerprint  " << fp << '\n'
+            << "  units        " << status.done_markers << '/'
+            << status.n_units << " done\n"
+            << "  leases       " << status.leases.size() << " live\n";
+  for (const FabricLeaseStatus& lease : status.leases)
+    std::cout << "    " << lease.file << "  " << lease.content << '\n';
+  std::cout << "  shards       " << status.shards.size() << '\n';
+  for (const FabricShardStatus& shard : status.shards) {
+    std::cout << "    " << shard.file << "  ";
+    if (!shard.header_ok) {
+      std::cout << "UNREADABLE";
+      if (!shard.note.empty()) std::cout << " (" << shard.note << ")";
+      std::cout << '\n';
+      continue;
+    }
+    std::cout << shard.records << " record(s)";
+    if (!shard.fingerprint_ok) std::cout << "  FINGERPRINT MISMATCH";
+    if (shard.dropped_tail)
+      std::cout << "  DAMAGED TAIL (" << shard.dropped_frames
+                << " stranded record frame(s), " << shard.dropped_bytes
+                << " byte(s))";
+    std::cout << '\n';
+  }
+
+  if (repair) {
+    const FabricRepair result = repair_fabric(dir);
+    std::cout << "  repaired: " << result.shards_rewritten
+              << " shard(s) rewritten, " << result.dropped_records
+              << " stranded record frame(s) dropped (" << result.dropped_bytes
+              << " byte(s)), " << result.leases_cleared
+              << " lease(s) cleared\n";
+  } else {
+    bool damaged = false;
+    for (const FabricShardStatus& shard : status.shards)
+      damaged = damaged || shard.dropped_tail;
+    if (damaged || !status.leases.empty())
+      std::cout << "  (run with --repair to rewrite damaged shards and "
+                   "clear stale leases; only with no fabric running)\n";
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace qfab;
 
   std::string path;
+  std::string fabric;
   bool repair = false;
   bool records = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--repair") repair = true;
     else if (arg == "--records") records = true;
-    else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown flag " << arg << "\n"
-                << "usage: qfab_journal <journal> [--records] [--repair]\n";
-      return 2;
+    else if (arg == "--fabric") {
+      if (i + 1 >= argc) return usage();
+      fabric = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag " << arg << '\n';
+      return usage();
     } else if (path.empty()) {
       path = arg;
     } else {
-      std::cerr << "usage: qfab_journal <journal> [--records] [--repair]\n";
-      return 2;
+      return usage();
     }
   }
-  if (path.empty()) {
-    std::cerr << "usage: qfab_journal <journal> [--records] [--repair]\n";
-    return 2;
+  if (!fabric.empty()) {
+    if (!path.empty() || records) return usage();
+    return run_fabric_mode(fabric, repair);
   }
+  if (path.empty()) return usage();
 
   const JournalContents contents = read_journal(path);
   if (!contents.header_ok) {
@@ -93,7 +167,12 @@ int main(int argc, char** argv) {
     if (contents.dropped_tail) {
       rewrite_journal(path, contents);
       std::cout << "  repaired: rewrote the valid prefix ("
-                << contents.records.size() << " record(s))\n";
+                << contents.records.size() << " record(s) kept); dropped "
+                << contents.dropped_frames << " stranded record frame(s)"
+                << (contents.dropped_partial_frame
+                        ? " plus a torn partial frame"
+                        : "")
+                << " in " << contents.dropped_bytes << " byte(s)\n";
     } else {
       std::cout << "  repair not needed\n";
     }

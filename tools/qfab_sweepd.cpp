@@ -1,0 +1,139 @@
+// Durable multi-process sweep daemon: one sweep panel executed through the
+// fault-tolerant fabric (exp/fabric.h) — a coordinator plus K forked
+// workers leasing work units from a filesystem-backed queue, each
+// journaling to its own shard, merged into a result bit-identical to a
+// single-process run.
+//
+//   tools/qfab_sweepd --dir results/fabric1 --workers 4
+//       run the default sweep with four worker processes.
+//   tools/qfab_sweepd --dir results/fabric1 --workers 4 --resume
+//       continue an interrupted run: done units are kept, stale leases are
+//       broken, and only the remainder is computed.
+//   tools/qfab_sweepd --dir results/ref --workers 0 --csv ref
+//       reference mode: the identical sweep through single-process
+//       run_sweep_durable (no fabric) — CI diffs its CSV byte-for-byte
+//       against the fabric's.
+//
+// Sweep shape flags mirror the figure benches: --op add|mul, --n, --depths,
+// --rates, --vary-2q, --order-x/--order-y, --instances, --shots, --traj,
+// --seed, --per-shot, --shared-trajectories. Fabric knobs: --workers,
+// --lease (seconds), --max-respawns, --resume, --progress. Output: --csv
+// PREFIX writes PREFIX.csv (the canonical sweep point dump).
+//
+// SIGINT/SIGTERM drain gracefully: the coordinator propagates the request
+// to workers via SIGUSR1, workers finish their in-flight unit and exit
+// kResumableExitCode, and the daemon exits kResumableExitCode with every
+// completed unit durably journaled. A second SIGINT hard-exits (130).
+// Per-worker exit codes are reported on shutdown.
+//
+// Exit codes: 0 complete, 75 drained/incomplete but resumable, 2 usage.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/shutdown.h"
+#include "exp/fabric.h"
+#include "exp/instances.h"
+#include "exp/journal.h"
+#include "exp/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace qfab;
+
+  install_shutdown_latch();
+  const CliFlags flags(argc, argv);
+
+  const std::string op_name = flags.get_string("op", "add");
+  SweepConfig cfg;
+  if (op_name == "add") {
+    cfg.base.op = Operation::kAdd;
+  } else if (op_name == "mul") {
+    cfg.base.op = Operation::kMultiply;
+  } else {
+    std::cerr << "--op must be add or mul (got " << op_name << ")\n";
+    return 2;
+  }
+  cfg.base.n = static_cast<int>(flags.get_int("n", 6));
+  cfg.base.measure_all = flags.get_bool("measure-all", false);
+
+  std::vector<long> depths = flags.get_int_list("depths", {1, 2, kFullDepth});
+  for (long d : depths) cfg.depths.push_back(static_cast<int>(d));
+  cfg.rates_percent = flags.get_double_list("rates", {0.2, 0.5, 1.0});
+  cfg.vary_2q = flags.get_bool("vary-2q", false);
+  cfg.orders.order_x = static_cast<int>(flags.get_int("order-x", 1));
+  cfg.orders.order_y = static_cast<int>(flags.get_int("order-y", 1));
+  cfg.instances = static_cast<int>(flags.get_int("instances", 8));
+  cfg.run.shots = static_cast<std::uint64_t>(flags.get_int("shots", 256));
+  cfg.run.error_trajectories =
+      static_cast<int>(flags.get_int("traj", 8));
+  cfg.run.per_shot = flags.get_bool("per-shot", false);
+  cfg.run.shared_trajectories = flags.get_bool("shared-trajectories", true);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2112'09349));
+  cfg.progress = false;
+
+  FabricOptions fabric;
+  fabric.dir = flags.get_string("dir", "");
+  fabric.workers = static_cast<int>(flags.get_int("workers", 2));
+  fabric.resume = flags.get_bool("resume", false);
+  fabric.lease_seconds = flags.get_double("lease", 5.0);
+  fabric.max_respawns =
+      static_cast<int>(flags.get_int("max-respawns", fabric.max_respawns));
+  fabric.progress = flags.get_bool("progress", false);
+  const std::string csv_prefix = flags.get_string("csv", "");
+  if (!flags.validate()) return 2;
+  if (fabric.dir.empty() && fabric.workers > 0) {
+    std::cerr << "--dir is required (fabric state directory)\n";
+    return 2;
+  }
+
+  // One operand set, derived exactly as the figure rows derive theirs, so
+  // reference and fabric runs agree bit for bit.
+  Pcg64 row_rng(cfg.seed ^
+                (static_cast<std::uint64_t>(cfg.orders.order_x) << 8) ^
+                static_cast<std::uint64_t>(cfg.orders.order_y));
+  const std::vector<ArithInstance> instances = generate_instances(
+      cfg.instances, cfg.base.n, cfg.base.n, cfg.orders, row_rng);
+
+  SweepResult result;
+  FabricReport report;
+  if (fabric.workers <= 0) {
+    // Reference mode: single-process durable sweep, journaled into the
+    // fabric directory's namesake file when --dir is given.
+    DurableOptions durable;
+    if (!fabric.dir.empty()) {
+      durable.journal_path = fabric.dir + ".journal";
+      durable.resume = fabric.resume;
+    }
+    result = run_sweep_durable(cfg, instances, durable);
+  } else {
+    result = run_sweep_fabric(cfg, instances, fabric, &report);
+    for (const WorkerExit& we : report.exits)
+      std::fprintf(stderr, "[qfab-sweepd] worker %d (pid %ld) exit code %d\n",
+                   we.worker_id, static_cast<long>(we.pid), we.exit_code);
+    if (report.lease_steals || report.respawns || report.kills)
+      std::fprintf(stderr,
+                   "[qfab-sweepd] supervision: %d lease steal(s), %d "
+                   "kill(s), %d respawn(s)\n",
+                   report.lease_steals, report.kills, report.respawns);
+  }
+
+  if (!result.complete) {
+    std::cout << "drained after " << result.units_done << '/'
+              << result.units_total
+              << " work units; re-run with --resume to continue\n";
+    return kResumableExitCode;
+  }
+
+  print_sweep(std::cout, result,
+              "sweepd " + op_name + " n=" + std::to_string(cfg.base.n) +
+                  (cfg.vary_2q ? " | varying 2q" : " | varying 1q") +
+                  " gate error");
+  if (!csv_prefix.empty()) {
+    const std::string path = csv_prefix + ".csv";
+    sweep_csv_table(result).write_csv(path);
+    std::cout << "wrote " << path << '\n';
+  }
+  return 0;
+}
